@@ -1,0 +1,41 @@
+# Convenience targets for the reproduction repository.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments docs examples clean all
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ --ignore=tests/properties --ignore=tests/integration
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) scripts/run_experiments.py
+
+docs:
+	$(PYTHON) scripts/gen_api_index.py
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/banking.py
+	$(PYTHON) examples/inventory.py
+	$(PYTHON) examples/failover.py
+	$(PYTHON) examples/broadcast_playground.py
+	$(PYTHON) examples/trace_anatomy.py
+
+artifacts:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+clean:
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +
+
+all: install test bench docs

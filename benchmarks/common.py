@@ -1,0 +1,105 @@
+"""Shared infrastructure for the experiment benchmarks (E1..E10).
+
+Each benchmark file regenerates one comparative claim of the paper
+(DESIGN.md section 3 maps experiment ids to claims).  The helpers here run
+a standard closed-loop mix on a fresh cluster and return the cluster plus
+its :class:`repro.core.cluster.ClusterResult`; benchmark files sweep a
+parameter, print a paper-style table, assert the claim's *shape*, and hand
+one representative configuration to pytest-benchmark for wall-clock
+numbers.
+
+Every run asserts the 1SR invariant and replica convergence — an
+experiment that produced an incorrect execution would be meaningless.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.cluster import Cluster, ClusterConfig, ClusterResult
+from repro.workload.generator import WorkloadConfig
+from repro.workload.runner import ClosedLoopRunner
+
+PROTOCOLS = ("p2p", "rbp", "cbp", "abp")
+
+PROTOCOL_LABELS = {
+    "p2p": "p2p+2PC (baseline)",
+    "rbp": "RBP (reliable)",
+    "cbp": "CBP (causal)",
+    "abp": "ABP (atomic)",
+}
+
+#: Background message kinds excluded from per-transaction cost accounting.
+BACKGROUND_KINDS = ("cbp.null", "fd.heartbeat", "abcast.token", "transport.ack")
+
+
+def make_cluster(protocol: str, **overrides: Any) -> Cluster:
+    defaults: dict[str, Any] = dict(
+        protocol=protocol,
+        num_sites=4,
+        num_objects=64,
+        seed=2098,  # fixed master seed: all experiments reproducible
+        p2p_write_timeout=200.0,
+        p2p_deadlock_interval=5.0,
+    )
+    defaults.update(overrides)
+    return Cluster(ClusterConfig(**defaults))
+
+
+def run_mix(
+    cluster: Cluster,
+    workload: WorkloadConfig,
+    transactions: int = 60,
+    mpl: int = 6,
+    max_time: float = 5_000_000.0,
+) -> ClusterResult:
+    runner = ClosedLoopRunner(cluster, workload, mpl=mpl, transactions=transactions)
+    runner.start()
+    result = cluster.run(max_time=max_time)
+    assert result.serialization.ok, result.serialization.explain()
+    assert result.converged, "replicas diverged"
+    return result
+
+
+def protocol_messages(result: ClusterResult) -> int:
+    """Messages attributable to transactions (background excluded)."""
+    return sum(
+        count
+        for kind, count in result.messages_by_kind.items()
+        if not kind.startswith(BACKGROUND_KINDS)
+    )
+
+
+def messages_per_committed_update(result: ClusterResult) -> float:
+    updates = result.metrics.committed_update_count()
+    if updates == 0:
+        return 0.0
+    return protocol_messages(result) / updates
+
+
+def standard_workload(**overrides: Any) -> WorkloadConfig:
+    defaults: dict[str, Any] = dict(
+        num_objects=64,
+        num_sites=4,
+        read_ops=2,
+        write_ops=2,
+        zipf_theta=0.0,
+        readonly_fraction=0.0,
+    )
+    defaults.update(overrides)
+    return WorkloadConfig(**defaults)
+
+
+def print_experiment_table(table) -> None:
+    """Render a table so it is visible in captured pytest output too."""
+    print()
+    print(table.render())
+
+
+def bench_once(benchmark, fn, *args, **kwargs) -> Optional[Any]:
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    Simulation results are deterministic; repeated rounds would only
+    re-measure interpreter noise at 10-100x the total runtime cost.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,72 @@
+"""E2 — Commit latency as the number of sites grows.
+
+Paper claims regenerated here:
+
+- RBP's per-write acknowledgment rounds and decentralized 2PC add two
+  full round trips per write: its latency is the highest and grows with
+  every added round trip;
+- ABP needs one ordering hop (to/from the sequencer): latency stays low
+  and nearly flat in the number of sites;
+- CBP's latency is governed by when other sites happen to broadcast
+  (bounded here by heartbeats), not by the site count;
+- the p2p baseline pays write round trips plus the centralized 2PC's
+  three message delays.
+
+All runs use low contention so latency reflects the protocols' message
+patterns, not queueing.
+"""
+
+from benchmarks.common import (
+    PROTOCOLS,
+    bench_once,
+    make_cluster,
+    print_experiment_table,
+    run_mix,
+    standard_workload,
+)
+from repro.analysis.report import Table
+
+SITE_COUNTS = (2, 4, 8, 12, 16)
+
+
+def latency_for(protocol: str, num_sites: int) -> float:
+    cluster = make_cluster(
+        protocol,
+        num_sites=num_sites,
+        num_objects=256,
+        cbp_heartbeat=20.0,
+        seed=7,
+    )
+    workload = standard_workload(num_sites=num_sites, num_objects=256)
+    result = run_mix(cluster, workload, transactions=40, mpl=3)
+    return result.metrics.commit_latency(read_only=False).mean
+
+
+def test_e2_latency_vs_sites(benchmark):
+    measured = {protocol: [] for protocol in PROTOCOLS}
+    for n in SITE_COUNTS:
+        for protocol in PROTOCOLS:
+            measured[protocol].append(latency_for(protocol, n))
+
+    table = Table(
+        ["sites"] + list(PROTOCOLS),
+        title="E2: mean update commit latency (ms) vs number of sites",
+    )
+    for index, n in enumerate(SITE_COUNTS):
+        table.add_row(n, *(measured[protocol][index] for protocol in PROTOCOLS))
+    print_experiment_table(table)
+
+    for index in range(len(SITE_COUNTS)):
+        # RBP is the slowest protocol at every scale (ack rounds + votes).
+        assert measured["rbp"][index] >= measured["abp"][index]
+        assert measured["rbp"][index] >= measured["p2p"][index] * 0.9
+        # ABP beats the baseline everywhere.
+        assert measured["abp"][index] < measured["p2p"][index]
+    # ABP's latency stays nearly flat: growing 2 -> 16 sites costs less
+    # than 2.5x, while RBP grows at least as fast as ABP in absolute terms.
+    assert measured["abp"][-1] < measured["abp"][0] * 2.5 + 1.0
+    # CBP's latency is heartbeat-dominated: roughly flat across scales.
+    spread = max(measured["cbp"]) - min(measured["cbp"])
+    assert spread < 2.5 * 20.0  # within a few heartbeat intervals
+
+    bench_once(benchmark, latency_for, "abp", 8)

@@ -1,0 +1,108 @@
+"""E3 — The causal protocol's implicit-acknowledgment wait.
+
+The paper: "The causal broadcast protocol with implicit positive
+acknowledgment ... is most appropriate for situations where all sites
+broadcast messages fairly frequently; otherwise the wait for 'implicit'
+acknowledgments can become a drawback resulting in substantial delays for
+transaction commitment."
+
+Regenerated here two ways:
+
+1. **Heartbeat sweep** — on an otherwise idle system, CBP's commit latency
+   tracks the null-message interval almost linearly (the last echo arrives
+   up to one interval late).
+2. **Background-traffic sweep** — with heartbeats off, latency is set by
+   how often other sites broadcast: busy systems commit quickly, quiet
+   systems stall (the no-traffic row would never commit; the sweep's
+   sparsest point shows the trend).
+"""
+
+from benchmarks.common import bench_once, make_cluster, print_experiment_table
+from repro.analysis.report import Table
+from repro.core.transaction import TransactionSpec
+from repro.workload.generator import WorkloadConfig
+from repro.workload.runner import OpenLoopRunner
+
+HEARTBEAT_INTERVALS = (10.0, 25.0, 50.0, 100.0, 200.0)
+TRAFFIC_RATES = (0.2, 0.05, 0.02, 0.01)  # transactions/ms across 3 other sites
+
+
+def latency_with_heartbeat(interval: float) -> float:
+    cluster = make_cluster("cbp", cbp_heartbeat=interval, seed=3)
+    for n in range(10):
+        cluster.submit(
+            TransactionSpec.make(f"t{n}", 0, writes={f"x{n}": n}),
+            at=n * 5 * interval,
+        )
+    result = cluster.run(max_time=100 * interval * 12)
+    assert result.ok and result.committed_specs == 10
+    return result.metrics.commit_latency().mean
+
+
+def latency_with_traffic(rate: float) -> float:
+    """Measured transactions at site 0; background Poisson traffic from
+    everyone keeps the implicit acknowledgments flowing."""
+    cluster = make_cluster("cbp", cbp_heartbeat=None, num_objects=128, seed=3)
+    runner = OpenLoopRunner(
+        cluster,
+        WorkloadConfig(num_objects=128, num_sites=4, read_ops=1, write_ops=1),
+        rate=rate,
+        count=max(40, int(rate * 4000)),
+    )
+    runner.start()
+    result = cluster.run(max_time=10_000_000.0)
+    assert result.serialization.ok
+    return result.metrics.commit_latency(read_only=False).mean
+
+
+def test_e3_heartbeat_sweep(benchmark):
+    table = Table(
+        ["null-message interval (ms)", "mean commit latency (ms)"],
+        title="E3a: CBP commit latency vs heartbeat interval (idle system)",
+    )
+    latencies = []
+    for interval in HEARTBEAT_INTERVALS:
+        latency = latency_with_heartbeat(interval)
+        latencies.append(latency)
+        table.add_row(interval, latency)
+    print_experiment_table(table)
+
+    # Latency grows monotonically with the interval and is interval-bound:
+    assert all(b >= a * 0.95 for a, b in zip(latencies, latencies[1:]))
+    assert latencies[-1] > latencies[0] * 4  # 10ms -> 200ms: big effect
+    for interval, latency in zip(HEARTBEAT_INTERVALS, latencies):
+        assert latency < 2.5 * interval + 10.0  # bounded by ~an interval
+
+    bench_once(benchmark, latency_with_heartbeat, 25.0)
+
+
+def test_e3_background_traffic_sweep(benchmark):
+    table = Table(
+        ["background rate (txn/ms)", "mean commit latency (ms)"],
+        title="E3b: CBP commit latency vs how often sites broadcast",
+    )
+    latencies = []
+    for rate in TRAFFIC_RATES:
+        latency = latency_with_traffic(rate)
+        latencies.append(latency)
+        table.add_row(rate, latency)
+    print_experiment_table(table)
+
+    # The quieter the system, the longer commitment waits.
+    assert latencies[-1] > latencies[0] * 3
+
+    bench_once(benchmark, latency_with_traffic, 0.05)
+
+
+def test_e3_idle_system_never_commits(benchmark):
+    """The limit case: no heartbeats, no other traffic — the update's
+    implicit acknowledgments never arrive and it stays uncommitted (the
+    paper's 'substantial delays' taken to infinity)."""
+    def stalled_run():
+        cluster = make_cluster("cbp", cbp_heartbeat=None, seed=3)
+        cluster.submit(TransactionSpec.make("stuck", 0, writes={"x0": 1}))
+        return cluster.run(max_time=60_000.0)
+
+    result = bench_once(benchmark, stalled_run)
+    assert result.incomplete_specs == 1
+    assert result.committed_specs == 0

@@ -1,0 +1,69 @@
+"""E5 — Throughput vs multiprogramming level (MPL).
+
+The classical closed-loop experiment: each of ``mpl`` clients keeps one
+transaction outstanding.  Claims regenerated:
+
+- at low MPL all protocols scale nearly linearly (latency-bound);
+- ABP sustains the highest throughput (fewest message rounds, mildest
+  abort behaviour);
+- RBP's and CBP's throughput flattens earlier: RBP burns capacity on
+  no-wait aborts and sequential ack rounds, CBP on mutual NACK retries
+  and on implicit-acknowledgment waits;
+- the baseline collapses under lock thrashing (its curve can bend *down*).
+"""
+
+from benchmarks.common import (
+    PROTOCOLS,
+    bench_once,
+    make_cluster,
+    print_experiment_table,
+    run_mix,
+    standard_workload,
+)
+from repro.analysis.report import Table
+
+MPLS = (1, 2, 4, 8, 16)
+TX_PER_POINT = 60
+
+
+def throughput_for(protocol: str, mpl: int) -> float:
+    cluster = make_cluster(
+        protocol,
+        num_objects=48,
+        cbp_heartbeat=15.0,
+        seed=21,
+        max_attempts=80,
+        retry_backoff=4.0,
+    )
+    workload = standard_workload(num_objects=48, read_ops=2, write_ops=2, zipf_theta=0.4)
+    result = run_mix(cluster, workload, transactions=TX_PER_POINT, mpl=mpl)
+    assert result.incomplete_specs == 0
+    return result.metrics.throughput(result.duration) * 1000.0  # txn/sec
+
+
+def test_e5_throughput_vs_mpl(benchmark):
+    measured = {protocol: [] for protocol in PROTOCOLS}
+    for mpl in MPLS:
+        for protocol in PROTOCOLS:
+            measured[protocol].append(throughput_for(protocol, mpl))
+
+    table = Table(
+        ["mpl"] + [f"{p} (txn/s)" for p in PROTOCOLS],
+        title="E5: committed-transaction throughput vs multiprogramming level",
+    )
+    for index, mpl in enumerate(MPLS):
+        table.add_row(mpl, *(measured[p][index] for p in PROTOCOLS))
+    print_experiment_table(table)
+
+    for protocol in ("rbp", "cbp", "abp"):
+        # The broadcast protocols scale up at the low end (mpl 1 -> 4)...
+        assert measured[protocol][2] > measured[protocol][0]
+    # ...and ABP leads at every load level.
+    for index in range(len(MPLS)):
+        for other in ("rbp", "cbp", "p2p"):
+            assert measured["abp"][index] >= measured[other][index]
+    # The WAIT-locking baseline collapses under concurrency: distributed
+    # deadlock timeouts eat its capacity as soon as clients overlap.
+    assert measured["p2p"][-1] < measured["p2p"][0]
+
+    bench_once(benchmark, throughput_for, "abp", 8)

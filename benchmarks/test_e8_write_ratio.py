@@ -1,0 +1,100 @@
+"""E8 — Sensitivity to the number of writes per transaction.
+
+The protocols disseminate writes very differently:
+
+- **RBP** broadcasts each write separately and blocks for a full
+  acknowledgment round per write: cost and latency grow *linearly and
+  steeply* with the write count (the per-write round trips dominate);
+- **p2p** also pays per-write rounds (point-to-point);
+- **CBP** (batched) and **ABP** ship the whole write set in one message:
+  their message cost is flat in the write count;
+- **CBP per-op** (the paper's literal presentation) sends one causal
+  broadcast per operation but needs no per-write round trip: message cost
+  grows, latency stays flat.
+"""
+
+from benchmarks.common import (
+    bench_once,
+    make_cluster,
+    messages_per_committed_update,
+    print_experiment_table,
+    run_mix,
+    standard_workload,
+)
+from repro.analysis.report import Table
+
+WRITE_COUNTS = (1, 2, 4, 8)
+PROTOCOLS = ("p2p", "rbp", "cbp", "abp")
+
+
+def cost_and_latency(protocol: str, writes: int, per_op: bool = False):
+    cluster = make_cluster(
+        protocol,
+        num_objects=256,
+        cbp_heartbeat=20.0,
+        cbp_per_op=per_op,
+        seed=55,
+    )
+    workload = standard_workload(
+        num_objects=256, read_ops=writes, write_ops=writes, zipf_theta=0.0
+    )
+    result = run_mix(cluster, workload, transactions=40, mpl=3)
+    return (
+        messages_per_committed_update(result),
+        result.metrics.commit_latency(read_only=False).mean,
+    )
+
+
+def test_e8_write_ratio(benchmark):
+    cost = {p: [] for p in PROTOCOLS}
+    latency = {p: [] for p in PROTOCOLS}
+    for writes in WRITE_COUNTS:
+        for protocol in PROTOCOLS:
+            c, l = cost_and_latency(protocol, writes)
+            cost[protocol].append(c)
+            latency[protocol].append(l)
+
+    table = Table(
+        ["writes/txn"]
+        + [f"{p} msgs" for p in PROTOCOLS]
+        + [f"{p} lat" for p in PROTOCOLS],
+        title="E8: per-update message cost and latency vs writes per transaction",
+    )
+    for index, writes in enumerate(WRITE_COUNTS):
+        table.add_row(
+            writes,
+            *(cost[p][index] for p in PROTOCOLS),
+            *(latency[p][index] for p in PROTOCOLS),
+        )
+    print_experiment_table(table)
+
+    # Per-write-round protocols scale linearly in messages AND latency...
+    for protocol in ("p2p", "rbp"):
+        assert cost[protocol][-1] > cost[protocol][0] * 3
+        assert latency[protocol][-1] > latency[protocol][0] * 3
+    # ...while the batched protocols stay flat in both.
+    for protocol in ("cbp", "abp"):
+        assert cost[protocol][-1] < cost[protocol][0] * 2.5
+        assert latency[protocol][-1] < latency[protocol][0] * 2.0 + 5.0
+
+    bench_once(benchmark, cost_and_latency, "rbp", 4)
+
+
+def test_e8_cbp_per_op_costs_messages_not_latency(benchmark):
+    table = Table(
+        ["writes/txn", "batched msgs", "per-op msgs", "batched lat", "per-op lat"],
+        title="E8b: CBP write dissemination, batched vs per-operation",
+    )
+    for writes in WRITE_COUNTS:
+        batched_cost, batched_lat = cost_and_latency("cbp", writes, per_op=False)
+        perop_cost, perop_lat = cost_and_latency("cbp", writes, per_op=True)
+        table.add_row(writes, batched_cost, perop_cost, batched_lat, perop_lat)
+        if writes > 1:
+            # Per-op sends (writes) messages where batched sends one...
+            assert perop_cost > batched_cost * (writes / 2.5)
+            # ...but commitment latency stays heartbeat-bound, not
+            # round-trip-bound: within ~2x of batched.
+            assert perop_lat < batched_lat * 2.0 + 5.0
+    print_experiment_table(table)
+
+    bench_once(benchmark, cost_and_latency, "cbp", 4, True)

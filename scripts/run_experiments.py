@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Regenerate every experiment table (E1..E11) in one run.
+
+This is the reproduction entry point referenced by EXPERIMENTS.md: it
+invokes the benchmark suite with output capture disabled so all result
+tables print, and summarizes pass/fail per experiment at the end.
+
+Usage:
+    python scripts/run_experiments.py            # everything
+    python scripts/run_experiments.py e1 e3      # a subset
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+import time
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
+
+EXPERIMENTS = {
+    "e1": "test_e1_message_cost.py",
+    "e2": "test_e2_latency_scaling.py",
+    "e3": "test_e3_implicit_ack_wait.py",
+    "e4": "test_e4_contention_aborts.py",
+    "e5": "test_e5_throughput.py",
+    "e6": "test_e6_deadlocks.py",
+    "e7": "test_e7_readonly.py",
+    "e8": "test_e8_write_ratio.py",
+    "e9": "test_e9_fault_tolerance.py",
+    "e10": "test_e10_ablations.py",
+    "e11": "test_e11_bytes.py",
+}
+
+
+def main(argv: list[str]) -> int:
+    requested = [a.lower() for a in argv] or sorted(EXPERIMENTS)
+    unknown = [e for e in requested if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; pick from {sorted(EXPERIMENTS)}")
+        return 2
+
+    outcomes: dict[str, tuple[bool, float]] = {}
+    for experiment in requested:
+        target = BENCH_DIR / EXPERIMENTS[experiment]
+        print(f"\n{'=' * 72}\n{experiment.upper()}: {target.name}\n{'=' * 72}")
+        started = time.time()
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                str(target),
+                "--benchmark-only",
+                "--benchmark-disable-gc",
+                "-q",
+                "-s",
+            ],
+            cwd=BENCH_DIR.parent,
+        )
+        outcomes[experiment] = (proc.returncode == 0, time.time() - started)
+
+    print(f"\n{'=' * 72}\nSummary\n{'=' * 72}")
+    failed = 0
+    for experiment in requested:
+        ok, elapsed = outcomes[experiment]
+        status = "PASS" if ok else "FAIL"
+        if not ok:
+            failed += 1
+        print(f"  {experiment.upper():5s} {status}   ({elapsed:6.1f}s)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

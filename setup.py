@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so that
+environments without the ``wheel`` package (where PEP 660 editable installs
+fail) can still do ``python setup.py develop`` / ``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

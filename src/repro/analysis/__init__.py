@@ -1,0 +1,27 @@
+"""Measurement, statistics and reporting for experiments."""
+
+from repro.analysis.audit import Finding, assert_clean, audit_cluster
+from repro.analysis.charts import AsciiChart, chart_sweep
+from repro.analysis.experiment import ExperimentSweep
+from repro.analysis.metrics import MetricsCollector, TxOutcome
+from repro.analysis.report import Table
+from repro.analysis.stats import Summary, confidence_interval, percentile, summarize
+from repro.analysis.timeline import TimelineBuilder, render_timeline
+
+__all__ = [
+    "AsciiChart",
+    "ExperimentSweep",
+    "Finding",
+    "assert_clean",
+    "audit_cluster",
+    "chart_sweep",
+    "MetricsCollector",
+    "Summary",
+    "Table",
+    "TimelineBuilder",
+    "TxOutcome",
+    "confidence_interval",
+    "percentile",
+    "render_timeline",
+    "summarize",
+]

@@ -1,0 +1,132 @@
+"""ASCII line charts for sweep results.
+
+Terminal-friendly rendering of the paper-style series (latency vs sites,
+throughput vs mpl, ...): one glyph per protocol, log-friendly scaling and
+axis labels, no plotting dependencies.
+
+    chart = AsciiChart(title="latency vs sites", width=48, height=12)
+    chart.add_series("rbp", xs, rbp_values)
+    chart.add_series("abp", xs, abp_values)
+    print(chart.render())
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+GLYPHS = "ox+*#@%&"
+
+
+@dataclass
+class _Series:
+    name: str
+    xs: list[float]
+    ys: list[float]
+    glyph: str
+
+
+@dataclass
+class AsciiChart:
+    """A scatter/line chart rendered with terminal characters."""
+
+    title: str = ""
+    width: int = 56
+    height: int = 14
+    log_y: bool = False
+    series: list[_Series] = field(default_factory=list)
+
+    def add_series(
+        self, name: str, xs: Sequence[float], ys: Sequence[float]
+    ) -> "AsciiChart":
+        if len(xs) != len(ys):
+            raise ValueError("xs and ys must have equal length")
+        if not xs:
+            raise ValueError("series must not be empty")
+        glyph = GLYPHS[len(self.series) % len(GLYPHS)]
+        self.series.append(_Series(name, list(xs), list(ys), glyph))
+        return self
+
+    # -- rendering ---------------------------------------------------------------
+
+    def render(self) -> str:
+        if not self.series:
+            return "(empty chart)"
+        xs_all = [x for s in self.series for x in s.xs]
+        ys_all = [self._transform(y) for s in self.series for y in s.ys]
+        x_low, x_high = min(xs_all), max(xs_all)
+        y_low, y_high = min(ys_all), max(ys_all)
+        x_span = (x_high - x_low) or 1.0
+        y_span = (y_high - y_low) or 1.0
+
+        grid = [[" "] * self.width for _ in range(self.height)]
+        for s in self.series:
+            for x, y in zip(s.xs, s.ys):
+                column = round((x - x_low) / x_span * (self.width - 1))
+                row = round(
+                    (self.height - 1)
+                    - (self._transform(y) - y_low) / y_span * (self.height - 1)
+                )
+                grid[row][column] = s.glyph
+
+        top_label = self._format(self._untransform(y_high))
+        bottom_label = self._format(self._untransform(y_low))
+        label_width = max(len(top_label), len(bottom_label))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        for index, row in enumerate(grid):
+            if index == 0:
+                label = top_label.rjust(label_width)
+            elif index == self.height - 1:
+                label = bottom_label.rjust(label_width)
+            else:
+                label = " " * label_width
+            lines.append(f"{label} |{''.join(row)}|")
+        x_axis = (
+            " " * label_width
+            + " +"
+            + "-" * self.width
+            + "+"
+        )
+        lines.append(x_axis)
+        x_labels = (
+            " " * label_width
+            + "  "
+            + self._format(x_low).ljust(self.width - len(self._format(x_high)))
+            + self._format(x_high)
+        )
+        lines.append(x_labels)
+        legend = "   ".join(f"{s.glyph}={s.name}" for s in self.series)
+        lines.append(" " * label_width + "  " + legend)
+        return "\n".join(lines)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _transform(self, y: float) -> float:
+        if self.log_y:
+            return math.log10(max(y, 1e-12))
+        return y
+
+    def _untransform(self, y: float) -> float:
+        if self.log_y:
+            return 10**y
+        return y
+
+    @staticmethod
+    def _format(value: float) -> str:
+        if value == int(value) and abs(value) < 10_000:
+            return str(int(value))
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        return f"{value:.2f}"
+
+
+def chart_sweep(sweep, metric: str, log_y: bool = False, **chart_kwargs) -> str:
+    """Render one metric of an :class:`~repro.analysis.experiment.ExperimentSweep`."""
+    chart = AsciiChart(title=f"{sweep.name}: {metric}", log_y=log_y, **chart_kwargs)
+    xs: list[float] = [float(p) for p in sweep.parameters]
+    for protocol in sweep.protocols:
+        chart.add_series(protocol, xs, sweep.series(protocol, metric))
+    return chart.render()

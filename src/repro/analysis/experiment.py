@@ -1,0 +1,102 @@
+"""Parameter-sweep helpers shared by the benchmark harness and the CLI.
+
+An :class:`ExperimentSweep` runs one scenario function over a grid of
+parameter values (optionally with seed replication) and collects rows for
+an ASCII table — the shape every experiment in the paper reduces to: one
+row per sweep point, one column per protocol or metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from repro.analysis.report import Table
+from repro.analysis.stats import mean
+
+
+@dataclass
+class SweepPoint:
+    """One cell of a sweep: parameter value, protocol, measured values."""
+
+    parameter: Any
+    protocol: str
+    values: dict[str, float]
+
+
+@dataclass
+class ExperimentSweep:
+    """Runs ``scenario(protocol, parameter, seed) -> dict[str, float]``
+    over ``parameters x protocols x seeds`` and aggregates by mean."""
+
+    name: str
+    scenario: Callable[[str, Any, int], dict[str, float]]
+    parameters: Sequence[Any]
+    protocols: Sequence[str]
+    seeds: Sequence[int] = (0,)
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def run(self, progress: Optional[Callable[[str], None]] = None) -> "ExperimentSweep":
+        for parameter in self.parameters:
+            for protocol in self.protocols:
+                samples: dict[str, list[float]] = {}
+                for seed in self.seeds:
+                    if progress is not None:
+                        progress(
+                            f"{self.name}: {protocol} @ {parameter} (seed {seed})"
+                        )
+                    measured = self.scenario(protocol, parameter, seed)
+                    for key, value in measured.items():
+                        samples.setdefault(key, []).append(value)
+                self.points.append(
+                    SweepPoint(
+                        parameter,
+                        protocol,
+                        {key: mean(values) for key, values in samples.items()},
+                    )
+                )
+        return self
+
+    def value(self, parameter: Any, protocol: str, metric: str) -> float:
+        for point in self.points:
+            if point.parameter == parameter and point.protocol == protocol:
+                return point.values[metric]
+        raise KeyError((parameter, protocol, metric))
+
+    def series(self, protocol: str, metric: str) -> list[float]:
+        """Metric values for one protocol across the parameter axis."""
+        return [self.value(parameter, protocol, metric) for parameter in self.parameters]
+
+    def table(self, metric: str, parameter_label: str = "parameter") -> Table:
+        """One table: rows = parameters, columns = protocols, cells = metric."""
+        table = Table(
+            [parameter_label] + list(self.protocols),
+            title=f"{self.name}: {metric}",
+        )
+        for parameter in self.parameters:
+            table.add_row(
+                parameter,
+                *(self.value(parameter, protocol, metric) for protocol in self.protocols),
+            )
+        return table
+
+    def metrics(self) -> list[str]:
+        names: list[str] = []
+        for point in self.points:
+            for key in point.values:
+                if key not in names:
+                    names.append(key)
+        return names
+
+    def render_all(self, parameter_label: str = "parameter") -> str:
+        return "\n\n".join(
+            self.table(metric, parameter_label).render() for metric in self.metrics()
+        )
+
+
+def cross_product(**axes: Iterable[Any]) -> list[dict[str, Any]]:
+    """Simple named cross product for multi-axis sweeps."""
+    combos: list[dict[str, Any]] = [{}]
+    for name, values in axes.items():
+        combos = [dict(combo, **{name: value}) for combo in combos for value in values]
+    return combos

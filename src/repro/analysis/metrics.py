@@ -1,0 +1,151 @@
+"""Per-run metrics collection.
+
+One :class:`MetricsCollector` is shared by all replicas of a cluster.  It
+records transaction outcomes and exposes the derived quantities the
+experiments report: throughput, commit latency distribution, abort taxonomy
+and restart counts.  Message accounting lives in
+:class:`repro.net.network.NetworkStats`; the cluster result object joins the
+two.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+from typing import TYPE_CHECKING
+
+from repro.analysis.stats import Summary, summarize
+
+if TYPE_CHECKING:  # imported lazily to avoid a package-level import cycle
+    from repro.core.transaction import AbortReason, Transaction
+
+
+@dataclass
+class TxOutcome:
+    """Final fate of one transaction attempt."""
+
+    tx_id: str
+    spec_name: str
+    home: int
+    read_only: bool
+    committed: bool
+    submit_time: float
+    end_time: float
+    abort_reason: Optional[AbortReason] = None
+
+    @property
+    def latency(self) -> float:
+        return self.end_time - self.submit_time
+
+
+@dataclass
+class MetricsCollector:
+    """Shared sink for transaction outcomes."""
+
+    outcomes: list[TxOutcome] = field(default_factory=list)
+    aborts_by_reason: Counter = field(default_factory=Counter)
+    deadlocks_detected: int = 0
+    local_reader_preemptions: int = 0
+
+    def tx_committed(self, tx: Transaction, end_time: float) -> None:
+        self.outcomes.append(
+            TxOutcome(
+                tx_id=tx.tx_id,
+                spec_name=tx.spec.name,
+                home=tx.home,
+                read_only=tx.read_only,
+                committed=True,
+                submit_time=tx.submit_time,
+                end_time=end_time,
+            )
+        )
+
+    def tx_aborted(self, tx: Transaction, reason: AbortReason, end_time: float) -> None:
+        self.aborts_by_reason[reason] += 1
+        self.outcomes.append(
+            TxOutcome(
+                tx_id=tx.tx_id,
+                spec_name=tx.spec.name,
+                home=tx.home,
+                read_only=tx.read_only,
+                committed=False,
+                submit_time=tx.submit_time,
+                end_time=end_time,
+                abort_reason=reason,
+            )
+        )
+
+    # -- derived quantities ----------------------------------------------------
+
+    @property
+    def committed(self) -> list[TxOutcome]:
+        return [o for o in self.outcomes if o.committed]
+
+    @property
+    def aborted(self) -> list[TxOutcome]:
+        return [o for o in self.outcomes if not o.committed]
+
+    def committed_update_count(self) -> int:
+        return sum(1 for o in self.committed if not o.read_only)
+
+    def committed_readonly_count(self) -> int:
+        return sum(1 for o in self.committed if o.read_only)
+
+    def abort_rate(self) -> float:
+        """Aborted attempts / all attempts (update and read-only alike)."""
+        if not self.outcomes:
+            return 0.0
+        return len(self.aborted) / len(self.outcomes)
+
+    def update_abort_rate(self) -> float:
+        updates = [o for o in self.outcomes if not o.read_only]
+        if not updates:
+            return 0.0
+        return sum(1 for o in updates if not o.committed) / len(updates)
+
+    def readonly_abort_count(self, include_environmental: bool = False) -> int:
+        """Protocol-level read-only aborts — the paper's claim: zero, in
+        every protocol.
+
+        A read-only transaction whose *home site crashed* under it is not
+        a protocol abort (no conflict rule fired; the machine died), so
+        ``site_failure`` outcomes are excluded unless
+        ``include_environmental`` is set.
+        """
+        from repro.core.transaction import AbortReason
+
+        return sum(
+            1
+            for o in self.aborted
+            if o.read_only
+            and (include_environmental or o.abort_reason is not AbortReason.SITE_FAILURE)
+        )
+
+    def commit_latency(self, read_only: Optional[bool] = None) -> Summary:
+        values = [
+            o.latency
+            for o in self.committed
+            if read_only is None or o.read_only == read_only
+        ]
+        return summarize(values)
+
+    def throughput(self, duration: float) -> float:
+        """Committed transactions per unit time."""
+        if duration <= 0:
+            return 0.0
+        return len(self.committed) / duration
+
+    def attempts_per_commit(self) -> float:
+        """Average attempts needed per committed spec (restart overhead)."""
+        attempts: Counter = Counter()
+        committed_specs: set[str] = set()
+        for outcome in self.outcomes:
+            attempts[outcome.spec_name] += 1
+            if outcome.committed:
+                committed_specs.add(outcome.spec_name)
+        if not committed_specs:
+            return 0.0
+        total = sum(attempts[name] for name in committed_specs)
+        return total / len(committed_specs)

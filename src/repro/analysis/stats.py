@@ -1,0 +1,85 @@
+"""Small statistics helpers for experiment reporting."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolated percentile; ``fraction`` in [0, 1]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= fraction <= 1:
+        raise ValueError("fraction must be in [0, 1]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = fraction * (len(ordered) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return ordered[low]
+    weight = position - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (raises on empty input)."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Sample standard deviation (0 for fewer than two values)."""
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (len(values) - 1))
+
+
+def confidence_interval(values: Sequence[float], z: float = 1.96) -> tuple[float, float]:
+    """Normal-approximation confidence interval for the mean."""
+    if not values:
+        raise ValueError("confidence interval of empty sequence")
+    mu = mean(values)
+    half = z * stddev(values) / math.sqrt(len(values))
+    return (mu - half, mu + half)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary of a sample."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.3f} p50={self.p50:.3f} "
+            f"p95={self.p95:.3f} p99={self.p99:.3f} "
+            f"min={self.minimum:.3f} max={self.maximum:.3f}"
+        )
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Build a :class:`Summary` (all-zero for an empty sample)."""
+    data = list(values)
+    if not data:
+        return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return Summary(
+        count=len(data),
+        mean=mean(data),
+        p50=percentile(data, 0.50),
+        p95=percentile(data, 0.95),
+        p99=percentile(data, 0.99),
+        minimum=min(data),
+        maximum=max(data),
+    )

@@ -1,0 +1,41 @@
+"""Broadcast primitives: reliable, FIFO, causal, and atomic (total order).
+
+This package implements, from scratch, the group-communication layer the
+paper builds on.  The primitives form a hierarchy [HT93]:
+
+- **Reliable broadcast**: validity, agreement, integrity — no ordering.
+- **FIFO broadcast**: reliable + per-sender order.
+- **Causal broadcast**: reliable + causal order (vector clocks, exposed to
+  the application layer as the paper requires for the CBP protocol).
+- **Atomic broadcast**: reliable + a single total order consistent with
+  causal order (fixed-sequencer and token-ring implementations).
+
+Plus the membership layer: heartbeat failure detection and majority-quorum
+views [Bv94, SS94].
+"""
+
+from repro.broadcast.message import BroadcastMessage, MessageId
+from repro.broadcast.vector_clock import VectorClock
+from repro.broadcast.reliable import ReliableBroadcast
+from repro.broadcast.fifo import FifoBroadcast
+from repro.broadcast.causal import CausalBroadcast, CausalEnvelope
+from repro.broadcast.total import SequencedEnvelope, TotalOrderBroadcast
+from repro.broadcast.failure_detector import FailureDetector
+from repro.broadcast.membership import MembershipService, View
+from repro.broadcast.stability import StabilityTracker
+
+__all__ = [
+    "BroadcastMessage",
+    "CausalBroadcast",
+    "CausalEnvelope",
+    "FailureDetector",
+    "FifoBroadcast",
+    "MembershipService",
+    "MessageId",
+    "ReliableBroadcast",
+    "SequencedEnvelope",
+    "StabilityTracker",
+    "TotalOrderBroadcast",
+    "VectorClock",
+    "View",
+]

@@ -1,0 +1,158 @@
+"""Causal broadcast: reliable broadcast + causal delivery order [Bv94].
+
+Implementation: the classic vector-clock holdback algorithm.  Site ``i``
+increments its clock entry and stamps the outgoing message; a received
+message from ``j`` with clock ``V`` is deliverable at site ``k`` when
+
+- ``V[j] == local[j] + 1``  (it is the next broadcast of ``j``), and
+- ``V[x] <= local[x]`` for all ``x != j``  (everything the sender had
+  delivered, we have delivered).
+
+As the paper requires for the CBP protocol, the message clocks are exposed
+to the application layer: the upward callback receives the stamped envelope,
+and :meth:`clock` reports the site's current delivered-vector, so protocols
+can test causal precedence and concurrency between operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.broadcast.message import BroadcastMessage
+from repro.broadcast.reliable import ReliableBroadcast
+from repro.broadcast.vector_clock import VectorClock
+
+
+@dataclass
+class CausalEnvelope:
+    """A payload stamped with the sender's vector clock at broadcast time."""
+
+    vc: VectorClock
+    payload: Any
+    kind: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            payload_kind = getattr(self.payload, "kind", None)
+            self.kind = (
+                payload_kind if isinstance(payload_kind, str) else type(self.payload).__name__
+            )
+
+
+class CausalBroadcast:
+    """Causal broadcast endpoint for one site."""
+
+    def __init__(self, reliable: ReliableBroadcast):
+        self.reliable = reliable
+        self.site = reliable.site
+        self.num_sites = reliable.num_sites
+        self._clock = VectorClock.zero(self.num_sites)
+        self._send_seq = 0
+        self._pending: list[BroadcastMessage] = []
+        self._deliver: Optional[Callable[[BroadcastMessage, CausalEnvelope], None]] = None
+        self.delivered_count = 0
+        #: Optional matrix-clock stability tracking (see enable_stability).
+        self.stability = None
+        reliable.set_deliver(self._on_reliable_deliver)
+
+    def enable_stability(self, gc: bool = False):
+        """Attach a :class:`repro.broadcast.stability.StabilityTracker`.
+
+        Every delivered envelope's clock feeds the tracker (it states what
+        the sender had delivered), as does our own clock after each local
+        delivery.  With ``gc=True``, stability advances also reclaim the
+        reliable layer's deduplication entries for messages everyone has
+        long delivered.  Returns the tracker.
+        """
+        from repro.broadcast.stability import StabilityTracker
+
+        self.stability = StabilityTracker(self.num_sites, self.site)
+        if gc:
+            self.stability.on_advance(self.reliable.garbage_collect)
+        return self.stability
+
+    @property
+    def clock(self) -> VectorClock:
+        """Copy of the site's current delivered-vector clock."""
+        return self._clock.copy()
+
+    def set_deliver(self, fn: Callable[[BroadcastMessage, CausalEnvelope], None]) -> None:
+        self._deliver = fn
+
+    def broadcast(self, payload: Any, kind: Optional[str] = None) -> CausalEnvelope:
+        """Causally broadcast ``payload``; returns the stamped envelope.
+
+        The returned envelope's clock identifies this broadcast: its entry
+        for this site is the broadcast's own event number, which protocols
+        use for the implicit-acknowledgment test.
+
+        The stamp combines the delivered-vector (what we have seen) with our
+        own *send* counter, so back-to-back broadcasts issued before our own
+        first message loops back through delivery still get distinct,
+        FIFO-ordered stamps.
+        """
+        self._send_seq += 1
+        stamp = self._clock.copy()
+        stamp.entries[self.site] = self._send_seq
+        envelope = CausalEnvelope(stamp, payload, kind or "")
+        self.reliable.broadcast(envelope, envelope.kind)
+        return envelope
+
+    def _on_reliable_deliver(self, message: BroadcastMessage) -> None:
+        self._pending.append(message)
+        self._drain()
+
+    def _drain(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            for index, message in enumerate(self._pending):
+                if self._deliverable(message):
+                    del self._pending[index]
+                    self._apply(message)
+                    progress = True
+                    break
+
+    def _deliverable(self, message: BroadcastMessage) -> bool:
+        envelope: CausalEnvelope = message.payload
+        sender = message.sender
+        clock = envelope.vc
+        if clock[sender] != self._clock[sender] + 1:
+            return False
+        return all(
+            clock[site] <= self._clock[site]
+            for site in range(self.num_sites)
+            if site != sender
+        )
+
+    def _apply(self, message: BroadcastMessage) -> None:
+        envelope: CausalEnvelope = message.payload
+        self._clock.increment_inplace(message.sender)
+        self.delivered_count += 1
+        if self.stability is not None:
+            self.stability.observe(message.sender, envelope.vc)
+            self.stability.observe(self.site, self._clock)
+        if self._deliver is None:
+            raise RuntimeError(f"site {self.site}: causal broadcast has no deliver callback")
+        self._deliver(message, envelope)
+
+    def pending_count(self) -> int:
+        """Messages held back waiting for causal predecessors."""
+        return len(self._pending)
+
+    def fast_forward(self, clock_entries: list[int]) -> None:
+        """Jump the delivered-vector past messages a state transfer already
+        covers (crash recovery).  Our own send counter is preserved — peers
+        still expect our next broadcast to continue our own sequence — and
+        held-back messages from the skipped past are discarded.
+        """
+        own_send_seq = max(self._send_seq, clock_entries[self.site])
+        self._clock = VectorClock(clock_entries)
+        self._clock.entries[self.site] = own_send_seq
+        self._send_seq = own_send_seq
+        self._pending = [m for m in self._pending if self._deliverable_in_future(m)]
+
+    def _deliverable_in_future(self, message: BroadcastMessage) -> bool:
+        envelope: CausalEnvelope = message.payload
+        return envelope.vc[message.sender] > self._clock[message.sender]

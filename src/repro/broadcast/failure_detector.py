@@ -1,0 +1,105 @@
+"""Heartbeat failure detector.
+
+Implements an eventually-perfect-style detector (class <>P in practice):
+every site multicasts heartbeats and suspects peers it has not heard from
+within a timeout.  Under the simulation's bounded latencies the detector is
+accurate after a crash-free prefix, which is what the membership service
+needs; deterministic detectors are impossible in pure asynchrony
+[CT96, CHTCB96], which is exactly why the paper's CBP avoids relying on one
+for commitment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.router import ChannelRouter
+from repro.sim.engine import SimulationEngine
+from repro.sim.process import Process
+
+CHANNEL = "fd"
+
+
+class Heartbeat:
+    """A heartbeat ping (empty payload, identified by channel)."""
+
+    kind = "fd.heartbeat"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Heartbeat()"
+
+
+_HEARTBEAT = Heartbeat()
+
+
+class FailureDetector(Process):
+    """Per-site heartbeat failure detector.
+
+    ``on_change(suspected)`` fires whenever the suspected set changes.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        router: ChannelRouter,
+        site: int,
+        num_sites: int,
+        interval: float = 50.0,
+        timeout: float = 200.0,
+        enabled: bool = True,
+    ):
+        super().__init__(engine, f"fd{site}")
+        if timeout <= interval:
+            raise ValueError("timeout must exceed the heartbeat interval")
+        self.router = router
+        self.site = site
+        self.num_sites = num_sites
+        self.interval = interval
+        self.timeout = timeout
+        self.enabled = enabled
+        self.suspected: set[int] = set()
+        self.on_change: Optional[Callable[[set[int]], None]] = None
+        self._last_heard = {peer: 0.0 for peer in range(num_sites) if peer != site}
+        router.register(CHANNEL, self._on_heartbeat)
+        if enabled:
+            self.schedule(self.interval, self._tick)
+
+    def start(self) -> None:
+        """Enable a detector constructed with ``enabled=False``."""
+        if not self.enabled:
+            self.enabled = True
+            for peer in self._last_heard:
+                self._last_heard[peer] = self.now
+            self.schedule(self.interval, self._tick)
+
+    def _on_heartbeat(self, src: int, payload: object) -> None:
+        self._last_heard[src] = self.now
+        if src in self.suspected:
+            self.suspected.discard(src)
+            self._notify()
+
+    def _tick(self) -> None:
+        if not self.enabled:
+            return
+        peers = [p for p in range(self.num_sites) if p != self.site]
+        self.router.multicast(peers, CHANNEL, _HEARTBEAT, "fd.heartbeat")
+        newly = {
+            peer
+            for peer, heard in self._last_heard.items()
+            if self.now - heard > self.timeout
+        }
+        if newly != self.suspected:
+            self.suspected = newly
+            self._notify()
+        self.schedule(self.interval, self._tick)
+
+    def _notify(self) -> None:
+        if self.on_change is not None:
+            self.on_change(set(self.suspected))
+
+    def on_recover(self) -> None:
+        for peer in self._last_heard:
+            self._last_heard[peer] = self.now
+        self.suspected.clear()
+        if self.enabled:
+            self.schedule(self.interval, self._tick)

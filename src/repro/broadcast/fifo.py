@@ -1,0 +1,52 @@
+"""FIFO broadcast: reliable broadcast + per-sender delivery order.
+
+With direct dissemination over FIFO links the order is already respected,
+but relayed (flooded) messages can overtake each other, so this layer keeps
+per-sender expected sequence numbers and a holdback queue regardless of the
+mode underneath.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.broadcast.message import BroadcastMessage
+from repro.broadcast.reliable import ReliableBroadcast
+
+
+class FifoBroadcast:
+    """FIFO-ordered broadcast endpoint layered on reliable broadcast."""
+
+    def __init__(self, reliable: ReliableBroadcast):
+        self.reliable = reliable
+        self.site = reliable.site
+        self._next_expected: dict[int, int] = {}
+        self._holdback: dict[int, dict[int, BroadcastMessage]] = {}
+        self._deliver: Optional[Callable[[BroadcastMessage], None]] = None
+        reliable.set_deliver(self._on_reliable_deliver)
+
+    def set_deliver(self, fn: Callable[[BroadcastMessage], None]) -> None:
+        self._deliver = fn
+
+    def broadcast(self, payload: Any, kind: Optional[str] = None) -> BroadcastMessage:
+        return self.reliable.broadcast(payload, kind)
+
+    def _on_reliable_deliver(self, message: BroadcastMessage) -> None:
+        sender = message.sender
+        expected = self._next_expected.get(sender, 0)
+        if message.seq == expected:
+            self._handoff(message)
+            expected += 1
+            queue = self._holdback.get(sender)
+            while queue and expected in queue:
+                self._handoff(queue.pop(expected))
+                expected += 1
+            self._next_expected[sender] = expected
+        elif message.seq > expected:
+            self._holdback.setdefault(sender, {})[message.seq] = message
+        # message.seq < expected cannot happen: reliable layer deduplicates.
+
+    def _handoff(self, message: BroadcastMessage) -> None:
+        if self._deliver is None:
+            raise RuntimeError(f"site {self.site}: FIFO broadcast has no deliver callback")
+        self._deliver(message)

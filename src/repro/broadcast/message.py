@@ -1,0 +1,51 @@
+"""Broadcast message envelope and identity.
+
+Every broadcast primitive wraps application payloads in a
+:class:`BroadcastMessage`.  Identity is ``(sender, sender_seq)``: globally
+unique because each site numbers its own broadcasts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True, order=True)
+class MessageId:
+    """Globally unique broadcast message identity."""
+
+    sender: int
+    seq: int
+
+    def __str__(self) -> str:
+        return f"m{self.sender}.{self.seq}"
+
+
+@dataclass
+class BroadcastMessage:
+    """A payload travelling through a broadcast primitive.
+
+    ``kind`` labels the payload for message accounting; it defaults to the
+    payload's own ``kind`` attribute when present.
+    """
+
+    id: MessageId
+    payload: Any
+    kind: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            payload_kind = getattr(self.payload, "kind", None)
+            self.kind = payload_kind if isinstance(payload_kind, str) else type(self.payload).__name__
+
+    @property
+    def sender(self) -> int:
+        return self.id.sender
+
+    @property
+    def seq(self) -> int:
+        return self.id.seq
+
+    def __str__(self) -> str:
+        return f"{self.id}[{self.kind}]"

@@ -1,0 +1,369 @@
+"""Atomic (total-order) broadcast, consistent with causal order.
+
+The paper's ABP protocol needs a total order on commit requests that also
+respects causality, while write operations may travel by plain causal
+broadcast (ISIS provides both primitives [Bv94]).  This layer therefore sits
+*on top of* :class:`repro.broadcast.causal.CausalBroadcast` and offers both:
+
+- :meth:`broadcast` -- total-order delivery (a global sequence number), and
+- :meth:`broadcast_causal` -- pass-through causal delivery,
+
+with a single upward callback so the two streams interleave correctly
+(causally-ordered messages are never delayed behind unrelated sequencing).
+
+Two orderers are implemented (ablation experiment E10):
+
+- **fixed sequencer** (default): the lowest-id group member assigns global
+  sequence numbers to ordered messages as it causally delivers them, and
+  causally broadcasts the assignment.  Because the assignment causally
+  follows the data message, every site has the data by the time it learns
+  the number; and because the sequencer's causal delivery order extends the
+  causal partial order, the resulting total order is causal.
+- **token ring** (Totem-style [AMMS+95]): a token carrying the next global
+  sequence number circulates; a site stamps its pending ordered messages
+  while holding the token.
+
+Sequencer takeover on view change is best-effort (the new lowest-id member
+assigns the unassigned backlog under a higher epoch).  A production system
+needs a view flush here; the fault-injection experiments in this repository
+crash non-sequencer sites or quiesce first, as documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.broadcast.causal import CausalBroadcast, CausalEnvelope
+from repro.broadcast.message import BroadcastMessage, MessageId
+from repro.sim.engine import SimulationEngine
+
+TOKEN_CHANNEL = "abcast.token"
+
+
+@dataclass
+class SequencedEnvelope:
+    """Inner wrapper distinguishing ordered from causal-only payloads."""
+
+    payload: Any
+    ordered: bool
+    kind: str = ""
+    preassigned: Optional[tuple[int, int]] = None  # (epoch, seq) in token mode
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            payload_kind = getattr(self.payload, "kind", None)
+            self.kind = (
+                payload_kind if isinstance(payload_kind, str) else type(self.payload).__name__
+            )
+
+
+@dataclass
+class OrderAssignment:
+    """Sequencer-issued mapping of message ids to global sequence numbers."""
+
+    epoch: int
+    assignments: list[tuple[MessageId, int]]
+    kind: str = "abcast.order"
+
+
+@dataclass
+class Token:
+    """Totem-style circulating token carrying the next sequence number."""
+
+    epoch: int
+    next_seq: int
+    kind: str = "abcast.token"
+
+
+@dataclass
+class _OrderedPending:
+    message: BroadcastMessage
+    envelope: CausalEnvelope
+
+
+DeliverFn = Callable[[Any, CausalEnvelope, Optional[int]], None]
+
+
+class TotalOrderBroadcast:
+    """Atomic broadcast endpoint for one site, layered on causal broadcast."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        causal: CausalBroadcast,
+        mode: str = "sequencer",
+        token_hold: float = 1.0,
+        uniform: bool = False,
+        stability_interval: float = 10.0,
+    ):
+        if mode not in ("sequencer", "token"):
+            raise ValueError(f"unknown total-order mode {mode!r}")
+        self.engine = engine
+        self.causal = causal
+        self.site = causal.site
+        self.num_sites = causal.num_sites
+        self.mode = mode
+        self.token_hold = token_hold
+        #: Uniform delivery: an ordered message is handed to the
+        #: application only once it is *stable* (delivered at every group
+        #: member, per the matrix-clock tracker).  This closes the
+        #: durability window of non-uniform delivery — a site can no longer
+        #: commit a transaction whose commit request would vanish if that
+        #: site and the sequencer crashed — at the price of roughly one
+        #: extra one-way delay, bounded by ``stability_interval`` null
+        #: messages on an idle system.
+        self.uniform = uniform
+        self.stability_interval = stability_interval
+        self.group: list[int] = list(range(self.num_sites))
+        self.epoch = 0
+        self._deliver: Optional[DeliverFn] = None
+        # Ordered-delivery machinery.
+        self._next_delivery_index = 0
+        self._order_of: dict[MessageId, tuple[int, int]] = {}
+        self._ready: dict[tuple[int, int], _OrderedPending] = {}
+        self._unordered: dict[MessageId, _OrderedPending] = {}
+        self._delivery_order: list[tuple[int, int]] = []  # sorted keys awaiting delivery
+        # Sequencer state.
+        self._next_seq = 0
+        # Token state.
+        self._outbox: list[tuple[Any, str]] = []
+        self._has_token = False
+        causal.set_deliver(self._on_causal_deliver)
+        if uniform:
+            tracker = causal.enable_stability()
+            tracker.on_advance(lambda stable: self._drain())
+            self._last_own_broadcast = 0.0
+            engine.schedule(stability_interval, self._stability_tick)
+        if mode == "token":
+            causal.reliable.router.register(TOKEN_CHANNEL, self._on_token)
+            if self.site == 0:
+                engine.schedule(0.0, self._acquire_token, Token(0, 0))
+
+    # -- public API ---------------------------------------------------------
+
+    def set_deliver(self, fn: DeliverFn) -> None:
+        """Register ``fn(payload, envelope, order_index)``.
+
+        ``payload`` is the application payload (unwrapped), ``envelope`` the
+        causal envelope carrying its vector clock, and ``order_index`` the
+        global total-order position for ordered messages (``None`` for
+        causal-only messages).
+        """
+        self._deliver = fn
+
+    def broadcast(self, payload: Any, kind: Optional[str] = None) -> None:
+        """Atomically broadcast ``payload`` (total + causal order)."""
+        if self.uniform:
+            self._last_own_broadcast = self.engine.now
+        if self.mode == "sequencer":
+            self.causal.broadcast(SequencedEnvelope(payload, True, kind or ""), kind)
+        else:
+            self._outbox.append((payload, kind or ""))
+            if self._has_token:
+                self._flush_outbox()
+
+    def broadcast_causal(self, payload: Any, kind: Optional[str] = None) -> None:
+        """Causally broadcast ``payload`` (no total ordering)."""
+        if self.uniform:
+            self._last_own_broadcast = self.engine.now
+        self.causal.broadcast(SequencedEnvelope(payload, False, kind or ""), kind)
+
+    def set_group(self, members: list[int]) -> None:
+        """Adopt a new view: re-elect the sequencer, bump the epoch."""
+        self.group = sorted(members)
+        self.epoch += 1
+        if self.mode == "sequencer" and self.is_sequencer:
+            # Best-effort takeover: number the unassigned backlog.
+            backlog = [
+                pending.message.id
+                for pending in self._unordered.values()
+                if pending.message.id not in self._order_of
+            ]
+            if backlog:
+                assignments = []
+                for msg_id in backlog:
+                    assignments.append((msg_id, self._next_seq))
+                    self._next_seq += 1
+                self.causal.broadcast(OrderAssignment(self.epoch, assignments))
+
+    @property
+    def is_sequencer(self) -> bool:
+        return bool(self.group) and self.site == min(self.group)
+
+    def export_order_state(self) -> dict:
+        """Ordering position for a state-transfer donor to ship."""
+        return {
+            "next_delivery_index": self._next_delivery_index,
+            "last_delivered_key": self._last_delivered_key,
+            "next_seq": self._next_seq,
+            "epoch": self.epoch,
+        }
+
+    def fast_forward(self, state: dict) -> None:
+        """Jump past the total-order prefix a state transfer covers."""
+        self._next_delivery_index = state["next_delivery_index"]
+        self._last_delivered_key = state["last_delivered_key"]
+        self._next_seq = max(self._next_seq, state["next_seq"])
+        self.epoch = max(self.epoch, state["epoch"])
+        # Drop buffered deliveries from the covered prefix.
+        covered = {
+            key for key in self._ready if self._last_delivered_key is not None
+            and key <= self._last_delivered_key
+        }
+        for key in covered:
+            del self._ready[key]
+        self._delivery_order = [k for k in self._delivery_order if k not in covered]
+
+    # -- causal delivery path ------------------------------------------------
+
+    def _on_causal_deliver(self, message: BroadcastMessage, envelope: CausalEnvelope) -> None:
+        inner = envelope.payload
+        if isinstance(inner, OrderAssignment):
+            self._on_order_assignment(inner)
+            return
+        if not isinstance(inner, SequencedEnvelope):
+            raise RuntimeError(f"site {self.site}: unexpected causal payload {inner!r}")
+        if inner.kind == "abcast.stability":
+            return  # clock carrier only; the stability tracker saw it
+        if not inner.ordered:
+            self._handoff(message, envelope, None)
+            return
+        pending = _OrderedPending(message, envelope)
+        if inner.preassigned is not None:
+            self._record_order(message.id, inner.preassigned, pending)
+        else:
+            self._unordered[message.id] = pending
+            known = self._order_of.get(message.id)
+            if known is not None:
+                self._record_order(message.id, known, self._unordered.pop(message.id))
+            elif self.mode == "sequencer" and self.is_sequencer:
+                key = (self.epoch, self._next_seq)
+                self._next_seq += 1
+                self.causal.broadcast(OrderAssignment(key[0], [(message.id, key[1])]))
+                self._record_order(message.id, key, self._unordered.pop(message.id))
+        self._drain()
+
+    def _on_order_assignment(self, order: OrderAssignment) -> None:
+        for msg_id, seq in order.assignments:
+            if msg_id in self._order_of:
+                continue  # first assignment wins (takeover duplicates)
+            key = (order.epoch, seq)
+            self._order_of[msg_id] = key
+            if self.mode == "sequencer" and not self.is_sequencer:
+                # Track the orderer's counter so a takeover continues from it.
+                self._next_seq = max(self._next_seq, seq + 1)
+            pending = self._unordered.pop(msg_id, None)
+            if pending is not None:
+                self._record_order(msg_id, key, pending)
+        self._drain()
+
+    def _record_order(self, msg_id: MessageId, key: tuple[int, int], pending: _OrderedPending) -> None:
+        self._order_of[msg_id] = key
+        self._ready[key] = pending
+        self._delivery_order.append(key)
+        self._delivery_order.sort()
+
+    def _drain(self) -> None:
+        """Deliver ready ordered messages in contiguous global order.
+
+        The global order index counts delivered ordered messages; a message
+        is deliverable once every ordered message with a smaller (epoch,
+        seq) key has been delivered.  Within one epoch, sequence numbers are
+        contiguous from the sequencer, so gap-freedom is detectable.
+        """
+        while self._delivery_order:
+            key = self._delivery_order[0]
+            if key not in self._ready:
+                self._delivery_order.pop(0)
+                continue
+            epoch, seq = key
+            if not self._is_next(epoch, seq):
+                break
+            pending = self._ready[key]
+            if self.uniform and not self._is_stable(pending):
+                break  # stability advance will re-drain
+            self._delivery_order.pop(0)
+            del self._ready[key]
+            index = self._next_delivery_index
+            self._next_delivery_index += 1
+            self._last_delivered_key = key
+            self._handoff(pending.message, pending.envelope, index)
+
+    _last_delivered_key: Optional[tuple[int, int]] = None
+
+    def _is_stable(self, pending: _OrderedPending) -> bool:
+        tracker = self.causal.stability
+        assert tracker is not None
+        sender = pending.message.sender
+        return tracker.is_stable(sender, pending.envelope.vc[sender])
+
+    def _stability_tick(self) -> None:
+        """Null messages keep stability advancing on an idle system.
+
+        Suppressed when this site broadcast recently — real traffic's
+        piggybacked clocks already carry the information.
+        """
+        if self.engine.now - self._last_own_broadcast >= self.stability_interval:
+            self.causal.broadcast(
+                SequencedEnvelope(None, False, "abcast.stability"), "abcast.stability"
+            )
+            self._last_own_broadcast = self.engine.now
+        self.engine.schedule(self.stability_interval, self._stability_tick)
+
+    def _is_next(self, epoch: int, seq: int) -> bool:
+        last = self._last_delivered_key
+        if last is None:
+            return seq == 0
+        last_epoch, last_seq = last
+        if epoch == last_epoch:
+            return seq == last_seq + 1
+        # New epoch: the takeover sequencer continues the counter, so the
+        # first message of an epoch is deliverable when its seq continues
+        # from the last delivered one.
+        return epoch > last_epoch and seq == last_seq + 1
+
+    def _handoff(
+        self,
+        message: BroadcastMessage,
+        envelope: CausalEnvelope,
+        order_index: Optional[int],
+    ) -> None:
+        if self._deliver is None:
+            raise RuntimeError(f"site {self.site}: total-order broadcast has no deliver callback")
+        inner: SequencedEnvelope = envelope.payload
+        self._deliver(inner.payload, envelope, order_index)
+
+    # -- token mode -----------------------------------------------------------
+
+    def _on_token(self, src: int, token: Token) -> None:
+        self._acquire_token(token)
+
+    def _acquire_token(self, token: Token) -> None:
+        self._has_token = True
+        self._token = token
+        self._flush_outbox()
+        self.engine.schedule(self.token_hold, self._pass_token)
+
+    def _flush_outbox(self) -> None:
+        token = self._token
+        for payload, kind in self._outbox:
+            key = (token.epoch, token.next_seq)
+            token.next_seq += 1
+            self.causal.broadcast(
+                SequencedEnvelope(payload, True, kind, preassigned=key), kind
+            )
+        self._outbox.clear()
+
+    def _pass_token(self) -> None:
+        if not self._has_token:
+            return
+        self._has_token = False
+        token = self._token
+        members = self.group
+        if len(members) <= 1:
+            self.engine.schedule(self.token_hold, self._acquire_token, token)
+            return
+        position = members.index(self.site)
+        successor = members[(position + 1) % len(members)]
+        self.causal.reliable.router.send(successor, TOKEN_CHANNEL, token, "abcast.token")

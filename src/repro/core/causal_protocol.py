@@ -1,0 +1,438 @@
+"""CBP: the Causal Broadcast-based Protocol (paper, section 4).
+
+CBP removes RBP's explicit per-write acknowledgments and explicit 2PC votes
+by exploiting causal delivery:
+
+- Write operations and the commit request are **causally broadcast**; the
+  commit request's vector-clock entry for the home site is the reference
+  event *e*.
+- **Implicit positive acknowledgment**: any message from site *j* whose
+  clock dominates *e* proves *j* delivered the commit request (and, by FIFO,
+  all of T's writes) earlier — and had it detected a conflict, its causally
+  earlier NACK would have arrived first.  So a site commits T once it has
+  delivered, from every other view member, *some* message causally
+  following T's commit request, with no NACK — a fully decentralized
+  decision with zero dedicated acknowledgment messages.
+- **Explicit negative acknowledgment**: conflicts between *concurrent*
+  (vector-clock-incomparable) operations are detected when the later write
+  is delivered; the detecting site causally broadcasts a NACK that
+  deterministically kills the victim everywhere.
+
+Safety of NACKs (the "endorsement" rule, DESIGN.md): a site may NACK a
+transaction only while it has not *endorsed* it — i.e. before delivering
+(or, for a local transaction, broadcasting) its commit request.  Because a
+conflict involving T's write is always detected before T's commit request
+arrives (FIFO), the newcomer T is always NACKable; an already-endorsed
+opponent never is, so the victim choice is: endorsed opponent => NACK T,
+otherwise the deterministically younger of the two.  A NACK from site *s*
+causally precedes every later message of *s*, so no site can first count
+*s*'s implicit yes and then see its NACK.
+
+Conflicting writes that are causally *ordered* queue in delivery order —
+identical at every site — so no NACK is needed for them.  In batched
+write-set mode this cannot deadlock; in per-operation mode (the paper's
+presentation) rare cross-causality waits-for cycles are possible, appear
+identically at every site, involve only transactions with no grants
+anywhere, and are resolved by a deterministic youngest-victim NACK
+(DESIGN.md, "Design resolutions").
+
+The paper's stated drawback — commitment stalls when sites broadcast rarely
+— is measured in experiment E3 and bounded by optional **null messages**
+(heartbeats) broadcast through the causal layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.analysis.metrics import MetricsCollector
+from repro.broadcast.causal import CausalBroadcast, CausalEnvelope
+from repro.broadcast.message import BroadcastMessage
+from repro.broadcast.vector_clock import VectorClock
+from repro.core.events import CbpCommitRequest, CbpNack, CbpNull, CbpWriteSet
+from repro.core.replica import Replica
+from repro.core.transaction import AbortReason, Transaction, TxPhase
+from repro.db.locks import LockMode
+from repro.db.serialization import HistoryRecorder
+from repro.sim.engine import SimulationEngine
+from repro.sim.trace import TraceLog
+
+
+class ProtocolInvariantError(AssertionError):
+    """A protocol safety invariant was violated (always a bug)."""
+
+
+@dataclass
+class _TxState:
+    """Per-site bookkeeping for one in-flight update transaction."""
+
+    tx: str
+    home: int
+    priority: tuple
+    writes: dict[str, Any] = field(default_factory=dict)
+    write_clocks: dict[str, VectorClock] = field(default_factory=dict)
+    all_writes_seen: bool = False
+    granted: set[str] = field(default_factory=set)
+    waiting: set[str] = field(default_factory=set)
+    cr_entry: Optional[int] = None  # home's clock entry of the commit request
+    echoes: set[int] = field(default_factory=set)
+    endorsed: bool = False
+    committed: bool = False
+
+
+class CausalBroadcastReplica(Replica):
+    """One site running CBP."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        site: int,
+        num_sites: int,
+        recorder: HistoryRecorder,
+        metrics: MetricsCollector,
+        trace: TraceLog,
+        cbcast: CausalBroadcast,
+        heartbeat_interval: Optional[float] = 25.0,
+        per_op: bool = False,
+    ):
+        super().__init__(engine, site, num_sites, recorder, metrics, trace)
+        self.cbcast = cbcast
+        self.heartbeat_interval = heartbeat_interval
+        self.per_op = per_op
+        cbcast.set_deliver(self._on_deliver)
+        self._states: dict[str, _TxState] = {}
+        self._dead: set[str] = set()
+        self._finished: set[str] = set()
+        self._nacked_by_me: set[str] = set()
+        self._last_broadcast = 0.0
+        self.nacks_sent = 0
+        if heartbeat_interval is not None:
+            self.schedule(heartbeat_interval, self._heartbeat)
+
+    # -- home side --------------------------------------------------------------
+
+    def start_update(self, tx: Transaction) -> None:
+        self.public.add(tx.tx_id)
+        # Eager local state: the home must remember endorsement and priority
+        # before its own broadcasts loop back through causal delivery.
+        state = _TxState(tx.tx_id, self.site, tx.priority)
+        self._states[tx.tx_id] = state
+        writes = tx.spec.writes
+        # The home acquires its own write locks synchronously, *before*
+        # broadcasting.  Conflicts here are with lock holders that predate
+        # this broadcast, i.e. always ordered-before it: invisible local
+        # readers are preempted, everyone else (read-only readers, public
+        # transactions) is waited on.  Acquiring now — rather than at the
+        # self-delivery of our own write message — closes the window in
+        # which a later local transaction could slip its read locks under
+        # our writes and manufacture a conflict between two transactions
+        # this site has already endorsed.
+        for key, value in writes:
+            state.writes[key] = value
+            self.preempt_local_readers(key, exempt=tx.tx_id)
+            if self.locks.acquire(tx.tx_id, key, LockMode.EXCLUSIVE, self._write_granted):
+                state.granted.add(key)
+            else:
+                state.waiting.add(key)
+        state.all_writes_seen = True
+        if self.per_op:
+            for index, (key, value) in enumerate(writes):
+                final = index == len(writes) - 1
+                envelope = self._broadcast(
+                    CbpWriteSet(tx.tx_id, self.site, ((key, value),), tx.priority, final)
+                )
+                state.write_clocks[key] = envelope.vc
+        else:
+            envelope = self._broadcast(
+                CbpWriteSet(tx.tx_id, self.site, writes, tx.priority, final=True)
+            )
+            for key, _ in writes:
+                state.write_clocks[key] = envelope.vc
+        tx.phase = TxPhase.COMMITTING
+        envelope = self._broadcast(CbpCommitRequest(tx.tx_id, self.site))
+        # Broadcasting the commit request endorses our own transaction: from
+        # here on this site may not NACK it (another site still may, until
+        # it delivers the commit request).  Recording the request's clock
+        # entry now lets conflict resolution classify later-delivered writes
+        # as causally ordered with respect to it.
+        state.endorsed = True
+        state.cr_entry = envelope.vc[self.site]
+
+    def _broadcast(self, payload: Any) -> CausalEnvelope:
+        self._last_broadcast = self.now
+        return self.cbcast.broadcast(payload)
+
+    # -- causal delivery --------------------------------------------------------
+
+    def _on_deliver(self, message: BroadcastMessage, envelope: CausalEnvelope) -> None:
+        sender = message.sender
+        clock = envelope.vc
+        payload = envelope.payload
+        if isinstance(payload, CbpNack):
+            self._on_nack(payload)
+        elif isinstance(payload, CbpWriteSet):
+            self._on_write_set(payload, clock)
+        elif isinstance(payload, CbpCommitRequest):
+            self._on_commit_request(payload, clock)
+        elif isinstance(payload, CbpNull):
+            pass  # pure implicit-acknowledgment carrier
+        else:
+            raise RuntimeError(f"site {self.site}: unexpected CBP payload {payload!r}")
+        # Every delivered message is a potential implicit acknowledgment for
+        # every pending commit request (including this very message).
+        self._update_echoes(sender, clock)
+
+    def _update_echoes(self, sender: int, clock: VectorClock) -> None:
+        for state in list(self._states.values()):
+            if state.cr_entry is None or state.committed or state.tx in self._dead:
+                continue
+            if sender not in state.echoes and clock.dominates_entry(state.home, state.cr_entry):
+                state.echoes.add(sender)
+                self._check_commit(state)
+
+    # -- write delivery and conflict resolution ------------------------------------
+
+    def _on_write_set(self, write_set: CbpWriteSet, clock: VectorClock) -> None:
+        tx_id = write_set.tx
+        if tx_id in self._dead or tx_id in self._finished:
+            return
+        if write_set.home == self.site:
+            # Our own broadcast looping back: locks were taken synchronously
+            # at start_update; nothing further to admit.
+            return
+        state = self._states.get(tx_id)
+        if state is None:
+            state = _TxState(tx_id, write_set.home, write_set.priority)
+            self._states[tx_id] = state
+        for key, value in write_set.writes:
+            state.writes[key] = value
+            state.write_clocks[key] = clock
+        if write_set.final:
+            state.all_writes_seen = True
+        for key, _ in write_set.writes:
+            self._admit_write(state, key, clock)
+            if tx_id in self._dead:
+                return  # a NACK we just issued killed it
+        self._check_commit(state)
+
+    def _admit_write(self, state: _TxState, key: str, clock: VectorClock) -> None:
+        """Resolve conflicts for one delivered write and lock or NACK."""
+        tx_id = state.tx
+        blockers = self.locks.conflicting_holders(tx_id, key, LockMode.EXCLUSIVE)
+        blockers += [
+            request.tx
+            for request in self.locks.queued(key)
+            if request.tx != tx_id
+        ]
+        for opponent_id in blockers:
+            if tx_id in self._dead:
+                return
+            self._resolve_conflict(state, key, clock, opponent_id)
+        if tx_id in self._dead:
+            return
+        granted = self.locks.acquire(tx_id, key, LockMode.EXCLUSIVE, self._write_granted)
+        if granted:
+            state.granted.add(key)
+        else:
+            state.waiting.add(key)
+            if self.per_op:
+                self._break_cycles()
+
+    def _resolve_conflict(
+        self, state: _TxState, key: str, clock: VectorClock, opponent_id: str
+    ) -> None:
+        """Apply the paper's conflict rules between the just-delivered write
+        of ``state.tx`` and one conflicting lock holder/waiter."""
+        tx_id = state.tx
+        opponent_state = self._states.get(opponent_id)
+        if opponent_state is not None and opponent_id not in self.local:
+            # Remote (or already-public local) update transaction.
+            opponent_clock = opponent_state.write_clocks.get(key)
+            if opponent_clock is not None and opponent_clock < clock:
+                return  # causally ordered: queue behind, no NACK
+            if opponent_state.endorsed:
+                self._nack(tx_id, f"concurrent with endorsed {opponent_id} on {key}")
+            elif state.priority < opponent_state.priority:
+                self._nack(opponent_id, f"concurrent with older {tx_id} on {key}")
+            else:
+                self._nack(tx_id, f"concurrent with older {opponent_id} on {key}")
+            return
+        local_tx = self.local.get(opponent_id)
+        if local_tx is not None:
+            if local_tx.read_only:
+                return  # wait: read-only transactions finish locally, soon
+            if opponent_id not in self.public:
+                # Invisible local update reader: abort-and-restart it.
+                self.preempt_local_readers(key, exempt=tx_id)
+                return
+            # Public local update transaction holding a read lock on key.
+            local_state = self._states.get(opponent_id)
+            if (
+                local_state is not None
+                and local_state.cr_entry is not None
+                and clock.dominates_entry(local_state.home, local_state.cr_entry)
+            ):
+                # The delivered write causally follows the opponent's commit
+                # request: an ordered (not concurrent) conflict; just queue.
+                return
+            endorsed = local_state.endorsed if local_state is not None else True
+            if endorsed:
+                self._nack(tx_id, f"concurrent with endorsed local {opponent_id} on {key}")
+            elif local_tx.priority < state.priority:
+                self._nack(tx_id, f"concurrent with older local {opponent_id} on {key}")
+            else:
+                self._nack(opponent_id, f"concurrent with younger local tx on {key}")
+            return
+        # Unknown opponent (e.g. a read lock of a remote... impossible: read
+        # locks are only local).  Conservatively NACK the newcomer.
+        self._nack(tx_id, f"conflict with unknown holder {opponent_id} on {key}")
+
+    def _write_granted(self, tx_id: str, key: str) -> None:
+        state = self._states.get(tx_id)
+        if state is None or tx_id in self._dead:
+            return
+        state.waiting.discard(key)
+        state.granted.add(key)
+        self._check_commit(state)
+
+    def _break_cycles(self) -> None:
+        """Per-op mode backstop: NACK the youngest transaction in a
+        waits-for cycle.  Such cycles appear identically at every site and
+        involve only transactions no site has fully granted, so the NACK is
+        safe and every site picks the same victim (DESIGN.md)."""
+        cycle = self.locks.find_cycle()
+        if not cycle:
+            return
+        candidates = [
+            self._states[tx_id]
+            for tx_id in cycle
+            if tx_id in self._states and tx_id not in self._dead
+        ]
+        if not candidates:
+            return
+        victim = max(candidates, key=lambda s: s.priority)
+        # Endorsement does not protect cycle members: a transaction stuck in
+        # a waits-for cycle has ungranted writes at *every* site (the cycle
+        # is identical everywhere because causal delivery orders the queues
+        # identically), so no site can have committed it and the NACK is
+        # safe even for an endorsed victim.
+        self._nack(victim.tx, "waits-for cycle (per-op cross causality)", force=True)
+
+    # -- NACK handling ------------------------------------------------------------
+
+    def _nack(self, tx_id: str, reason: str, force: bool = False) -> None:
+        if tx_id in self._nacked_by_me or tx_id in self._dead:
+            return
+        state = self._states.get(tx_id)
+        if not force and state is not None and state.endorsed and state.home == self.site:
+            raise ProtocolInvariantError(
+                f"site {self.site} attempted to NACK its own endorsed {tx_id}"
+            )
+        self._nacked_by_me.add(tx_id)
+        self.nacks_sent += 1
+        self.trace.emit(self.now, self.name, "cbp.nack_sent", tx=tx_id, reason=reason)
+        self._broadcast(CbpNack(tx_id, self.site, reason))
+        # Apply locally at once: the self-delivery would do the same, but
+        # later deliveries in this event must already see the victim dead.
+        self._kill(tx_id)
+
+    def _on_nack(self, nack: CbpNack) -> None:
+        self._kill(nack.tx)
+
+    def _kill(self, tx_id: str) -> None:
+        if tx_id in self._dead:
+            return
+        if tx_id in self._finished:
+            # The endorsement rule makes this unreachable: no site can NACK
+            # a transaction once an echo chain allowed anyone to commit it.
+            raise ProtocolInvariantError(
+                f"site {self.site}: NACK arrived for committed transaction {tx_id}"
+            )
+        self._dead.add(tx_id)
+        self._states.pop(tx_id, None)
+        self.locks.release_all(tx_id)
+        tx = self.local.get(tx_id)
+        if tx is not None and not tx.terminal:
+            self.abort_home(tx, AbortReason.CONCURRENT_NACK)
+
+    # -- commit request and the decentralized decision ------------------------------
+
+    def _on_commit_request(self, request: CbpCommitRequest, clock: VectorClock) -> None:
+        tx_id = request.tx
+        if tx_id in self._dead or tx_id in self._finished:
+            return
+        state = self._states.get(tx_id)
+        if state is None:
+            # Commit request with no writes seen: FIFO order makes this
+            # impossible for correct senders.
+            raise ProtocolInvariantError(
+                f"site {self.site}: commit request for unknown {tx_id}"
+            )
+        state.cr_entry = clock[request.home]
+        # Delivering the commit request without having objected endorses the
+        # transaction at this site: we may no longer NACK it.
+        state.endorsed = True
+        # The request itself is the home's implicit yes; our own endorsement
+        # counts as ours.
+        state.echoes.add(request.home)
+        state.echoes.add(self.site)
+        self._check_commit(state)
+
+    def _check_commit(self, state: _TxState) -> None:
+        if (
+            state.committed
+            or state.tx in self._dead
+            or state.cr_entry is None
+            or not state.all_writes_seen
+        ):
+            return
+        if state.waiting:
+            return
+        if set(state.granted) != set(state.writes):
+            return
+        if not set(self.view_members) <= state.echoes:
+            return
+        state.committed = True
+        installed = self.install_writes(state.tx, state.writes)
+        self.locks.release_all(state.tx)
+        self._states.pop(state.tx, None)
+        self._finished.add(state.tx)
+        self.trace.emit(self.now, self.name, "cbp.applied", tx=state.tx)
+        if state.home == self.site:
+            tx = self.local.get(state.tx)
+            if tx is not None:
+                self.commit_home(tx, installed)
+
+    # -- heartbeats (null messages) ---------------------------------------------------
+
+    def _heartbeat(self) -> None:
+        assert self.heartbeat_interval is not None
+        if self.now - self._last_broadcast >= self.heartbeat_interval:
+            self._broadcast(CbpNull(self.site))
+        self.schedule(self.heartbeat_interval, self._heartbeat)
+
+    # -- crash / recovery ------------------------------------------------------------------
+
+    def on_crash(self) -> None:
+        super().on_crash()
+        self._states.clear()
+        self._nacked_by_me.clear()
+
+    def on_recover(self) -> None:
+        # Restart the null-message loop; without it the recovered site
+        # would never provide implicit acknowledgments again.
+        if self.heartbeat_interval is not None:
+            self.schedule(self.heartbeat_interval, self._heartbeat)
+
+    # -- view changes -------------------------------------------------------------------
+
+    def on_view_change(self, members: list[int], has_quorum: bool) -> None:
+        super().on_view_change(members, has_quorum)
+        for state in list(self._states.values()):
+            if state.home not in members:
+                # The initiator left: its transaction cannot be completed
+                # (no further messages from it); drop it everywhere.
+                self._kill(state.tx)
+            else:
+                self._check_commit(state)

@@ -1,0 +1,197 @@
+"""Wire payloads of the replication protocols.
+
+Every payload carries a ``kind`` string used by the network's message
+accounting (experiment E1 separates protocol phases by these labels).
+Naming convention: ``<protocol>.<message>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+# -- RBP: reliable broadcast + explicit acks + decentralized 2PC --------------
+
+
+@dataclass
+class RbpWrite:
+    """One write operation, reliably broadcast to all sites (paper S3)."""
+
+    tx: str
+    home: int
+    key: str
+    value: Any
+    priority: tuple
+    kind: str = "rbp.write"
+
+
+@dataclass
+class RbpWriteAck:
+    """Point-to-point (positive or negative) acknowledgment of one write."""
+
+    tx: str
+    key: str
+    site: int
+    ok: bool
+    kind: str = "rbp.write_ack"
+
+
+@dataclass
+class RbpCommitRequest:
+    """Decentralized 2PC round 1: the initiator's commit request."""
+
+    tx: str
+    home: int
+    kind: str = "rbp.commit_request"
+
+
+@dataclass
+class RbpVote:
+    """Decentralized 2PC round 2: every site broadcasts its vote [Ske82]."""
+
+    tx: str
+    site: int
+    yes: bool
+    kind: str = "rbp.vote"
+
+
+@dataclass
+class RbpAbort:
+    """Initiator-broadcast abort (after a negative ack or vote)."""
+
+    tx: str
+    kind: str = "rbp.abort"
+
+
+# -- CBP: causal broadcast with implicit acknowledgments ----------------------
+
+
+@dataclass
+class CbpWriteSet:
+    """A transaction's write operations, causally broadcast (paper S4).
+
+    In ``per_op`` dissemination mode the set carries a single write and a
+    transaction broadcasts one message per operation, as the paper's text
+    describes; batched mode ships all writes in one message.
+    """
+
+    tx: str
+    home: int
+    writes: tuple[tuple[str, Any], ...]
+    priority: tuple
+    final: bool  # True on the last (or only) write message of the tx
+    kind: str = "cbp.write"
+
+
+@dataclass
+class CbpCommitRequest:
+    """Causally broadcast commit request; its vector clock entry for the
+    home site is the reference point of the implicit-acknowledgment test."""
+
+    tx: str
+    home: int
+    kind: str = "cbp.commit_request"
+
+
+@dataclass
+class CbpNack:
+    """Explicit negative acknowledgment, causally broadcast.
+
+    Delivery of a NACK aborts the victim everywhere; causal order
+    guarantees every site sees the NACK from site ``by`` before any later
+    message of ``by`` that could have been mistaken for an implicit yes.
+    """
+
+    tx: str
+    by: int
+    reason: str
+    kind: str = "cbp.nack"
+
+
+@dataclass
+class CbpNull:
+    """Null message (heartbeat) bounding the implicit-acknowledgment wait."""
+
+    site: int
+    kind: str = "cbp.null"
+
+
+# -- ABP: atomic broadcast, acknowledgment-free certification -----------------
+
+
+@dataclass
+class AbpCommitRequest:
+    """Atomically broadcast commit request (paper S5).
+
+    Variant A bundles the write values; variant B pre-ships them by causal
+    broadcast and the commit request carries only the write-key summary.
+    Read versions ride along for the deterministic certification test.
+    """
+
+    tx: str
+    home: int
+    reads: tuple[tuple[str, int], ...]
+    writes: tuple[tuple[str, Any], ...]  # values in variant A; empty in B
+    write_keys: tuple[str, ...]
+    kind: str = "abp.commit_request"
+
+
+@dataclass
+class AbpWriteSet:
+    """Variant B: write values shipped ahead via causal broadcast."""
+
+    tx: str
+    home: int
+    writes: tuple[tuple[str, Any], ...]
+    kind: str = "abp.write"
+
+
+# -- Baseline: point-to-point ROWA + centralized 2PC --------------------------
+
+
+@dataclass
+class P2pWrite:
+    tx: str
+    key: str
+    value: Any
+    priority: tuple
+    kind: str = "p2p.write"
+
+
+@dataclass
+class P2pWriteAck:
+    tx: str
+    key: str
+    site: int
+    ok: bool
+    kind: str = "p2p.write_ack"
+
+
+@dataclass
+class P2pPrepare:
+    tx: str
+    kind: str = "p2p.prepare"
+
+
+@dataclass
+class P2pVote:
+    tx: str
+    site: int
+    yes: bool
+    kind: str = "p2p.vote"
+
+
+@dataclass
+class P2pDecision:
+    tx: str
+    commit: bool
+    kind: str = "p2p.decision"
+
+
+# Recovery / state-transfer payloads live in repro.core.recovery, next to
+# the protocol that uses them.
+
+
+def priority_of(payload: Any) -> Optional[tuple]:
+    """The embedded priority of a payload, when it has one."""
+    return getattr(payload, "priority", None)

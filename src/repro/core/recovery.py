@@ -1,0 +1,166 @@
+"""Message-based crash recovery: state transfer over the network.
+
+When a crashed site comes back it must catch up on everything the majority
+committed while it was down.  A real system replays missed updates or
+ships a checkpoint; this module implements the checkpoint variant as an
+actual message exchange (request -> snapshot reply), rather than a
+simulation shortcut:
+
+1. the recovering site sends a :class:`StateTransferRequest` to a donor
+   (the lowest live member of the primary component);
+2. the donor replies with a full object snapshot plus the broadcast-layer
+   fast-forward state (causal clock, total-order position);
+3. the recovering site loads the snapshot, fast-forwards its broadcast
+   stack past everything the snapshot already covers, truncates its WAL
+   (the snapshot is the new recovery point), and only then starts
+   accepting transactions and announces itself to the membership service.
+
+While the transfer is in flight the replica is marked ``recovering`` and
+refuses submissions.
+
+Fidelity note (DESIGN.md): survivors' causal layers stay consistent across
+a sender crash only if partially-disseminated messages reach either all or
+none of them — run fault experiments with ``relay=True`` (eager flooding)
+so the reliable layer's agreement property provides exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.core.replica import Replica
+from repro.net.router import ChannelRouter
+from repro.sim.engine import SimulationEngine
+from repro.sim.trace import TraceLog
+
+CHANNEL = "recovery"
+
+
+@dataclass
+class StateTransferRequest:
+    """Sent by a recovering site to a donor."""
+
+    site: int
+    kind: str = "recovery.request"
+
+
+@dataclass
+class StateTransferReply:
+    """Snapshot of committed state + broadcast-layer positions."""
+
+    from_site: int
+    objects: tuple[tuple[str, int, Any], ...]
+    causal_clock: Optional[list[int]] = None
+    total_order_state: Optional[dict] = None
+    kind: str = "recovery.reply"
+
+
+@dataclass
+class _FastForward:
+    """Hooks into the broadcast stack, filled in by the cluster wiring."""
+
+    export: Callable[[], dict] = field(default=lambda: {})
+    apply: Callable[[dict], None] = field(default=lambda state: None)
+
+
+class RecoveryAgent:
+    """Per-site endpoint of the state-transfer protocol."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        router: ChannelRouter,
+        replica: Replica,
+        trace: TraceLog,
+        serve_delay: float = 100.0,
+    ):
+        self.engine = engine
+        self.router = router
+        self.replica = replica
+        self.trace = trace
+        #: Settle period before the donor exports its snapshot.  The
+        #: recovering site rejoins the broadcast group *first*; any message
+        #: sent by a member that had not yet installed the rejoin view will
+        #: reach the donor within this window, so the delayed snapshot
+        #: covers every message the recovering site will never receive.
+        #: (A real group-communication system runs a view flush here.)
+        self.serve_delay = serve_delay
+        self.fast_forward = _FastForward()
+        self.on_recovered: Optional[Callable[[], None]] = None
+        self.requested = False
+        self.transfers_served = 0
+        self.transfers_completed = 0
+        router.register(CHANNEL, self._on_message)
+
+    def request_from(self, donor: int) -> None:
+        """Begin recovery: ask ``donor`` for a state snapshot."""
+        self.replica.recovering = True
+        self.requested = True
+        self.trace.emit(
+            self.engine.now, self.replica.name, "recovery.requested", donor=donor
+        )
+        request = StateTransferRequest(self.replica.site)
+        self.router.send(donor, CHANNEL, request, request.kind)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _on_message(self, src: int, payload: Any) -> None:
+        if isinstance(payload, StateTransferRequest):
+            self._serve(payload)
+        elif isinstance(payload, StateTransferReply):
+            self._complete(payload)
+        else:
+            raise RuntimeError(f"unexpected recovery payload {payload!r}")
+
+    def _serve(self, request: StateTransferRequest) -> None:
+        replica = self.replica
+        if not replica.alive or replica.recovering:
+            return  # a better donor will answer a retried request
+        # Export at *send* time, after the settle window (see serve_delay).
+        self.engine.schedule(self.serve_delay, self._send_reply, request.site)
+
+    def _send_reply(self, to_site: int) -> None:
+        replica = self.replica
+        if not replica.alive or replica.recovering:
+            return
+        state = self.fast_forward.export()
+        reply = StateTransferReply(
+            from_site=replica.site,
+            objects=replica.store.export_snapshot(),
+            causal_clock=state.get("causal_clock"),
+            total_order_state=state.get("total_order_state"),
+        )
+        self.transfers_served += 1
+        self.trace.emit(
+            self.engine.now,
+            replica.name,
+            "recovery.served",
+            to=to_site,
+            objects=len(reply.objects),
+        )
+        self.router.send(to_site, CHANNEL, reply, reply.kind)
+
+    def _complete(self, reply: StateTransferReply) -> None:
+        replica = self.replica
+        if not replica.recovering:
+            return  # duplicate reply
+        replica.install_snapshot(reply.objects)
+        self.fast_forward.apply(
+            {
+                "causal_clock": reply.causal_clock,
+                "total_order_state": reply.total_order_state,
+            }
+        )
+        replica.recovering = False
+        self.requested = False
+        self.transfers_completed += 1
+        self.trace.emit(
+            self.engine.now,
+            replica.name,
+            "recovery.completed",
+            donor=reply.from_site,
+            objects=len(reply.objects),
+        )
+        if self.on_recovered is not None:
+            self.on_recovered()

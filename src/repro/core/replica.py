@@ -1,0 +1,267 @@
+"""Base replica: one database site.
+
+A replica owns the site's store, lock manager and WAL, and implements the
+phases every protocol shares:
+
+- transaction submission and the read phase (read locks are acquired
+  **all-or-nothing** so a transaction never waits while holding a partial
+  read set — this keeps read-only transactions out of every deadlock cycle,
+  see DESIGN.md);
+- the read-only fast path: read-only transactions commit locally, broadcast
+  nothing, and are never aborted (paper, sections 3-5);
+- commit/abort bookkeeping against the global history recorder and metrics.
+
+Protocol subclasses implement :meth:`start_update` (what happens once an
+update transaction has its reads) and the message handlers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.analysis.metrics import MetricsCollector
+from repro.core.transaction import AbortReason, Transaction, TxPhase
+from repro.db.locks import LockManager, LockMode
+from repro.db.serialization import HistoryRecorder
+from repro.db.storage import VersionedStore
+from repro.db.wal import WriteAheadLog
+from repro.sim.engine import SimulationEngine
+from repro.sim.process import Process
+from repro.sim.trace import TraceLog
+
+CompletionFn = Callable[[Transaction, bool], None]
+
+
+class Replica(Process):
+    """One site of the replicated database."""
+
+    #: Subclasses set False to release read locks right after reading
+    #: (optimistic certification protocols).
+    hold_read_locks = True
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        site: int,
+        num_sites: int,
+        recorder: HistoryRecorder,
+        metrics: MetricsCollector,
+        trace: TraceLog,
+    ):
+        super().__init__(engine, f"site{site}")
+        self.site = site
+        self.num_sites = num_sites
+        self.store = VersionedStore()
+        self.locks = LockManager()
+        self.wal = WriteAheadLog()
+        self.recorder = recorder
+        self.metrics = metrics
+        self.trace = trace
+        self.on_complete: Optional[CompletionFn] = None
+        #: Transactions homed at this site, by tx_id, until terminal.
+        self.local: dict[str, Transaction] = {}
+        #: Local update transactions that have broadcast anything ("public").
+        self.public: set[str] = set()
+        #: View membership hook; protocols read this for "all sites".
+        self.view_members: list[int] = list(range(num_sites))
+        self.has_quorum = True
+        #: True while a post-crash state transfer is in flight.
+        self.recovering = False
+        #: Last checkpoint snapshot (None until the first checkpoint).
+        self._checkpoint: Optional[tuple] = None
+        self.checkpoints_taken = 0
+
+    # -- submission and the read phase -------------------------------------------
+
+    def submit(self, tx: Transaction) -> None:
+        """Begin executing ``tx`` at this (its home) site."""
+        if not self.alive or self.recovering:
+            self._complete_abort(tx, AbortReason.SITE_FAILURE)
+            return
+        if not tx.read_only and not self.has_quorum:
+            # Minority view: update transactions are refused (one-copy
+            # serializability across a partition would be violated).
+            self._complete_abort(tx, AbortReason.NO_QUORUM)
+            return
+        self.local[tx.tx_id] = tx
+        tx.phase = TxPhase.PENDING
+        # Read locks for the read set; keys the transaction will also write
+        # take their exclusive lock right away (the write set is known at
+        # submission in the paper's model).  This upgrade avoidance removes
+        # the classic S->X upgrade deadlock between two local
+        # read-modify-write transactions on the same key.
+        write_keys = set(tx.spec.write_keys)
+        needs = {
+            key: LockMode.EXCLUSIVE if key in write_keys else LockMode.SHARED
+            for key in tx.spec.read_keys
+        }
+        self.trace.emit(self.now, self.name, "tx.submit", tx=tx.tx_id)
+        if self.locks.acquire_group(tx.tx_id, needs, self._reads_granted_cb):
+            self._reads_granted(tx)
+
+    def _reads_granted_cb(self, tx_id: str) -> None:
+        tx = self.local.get(tx_id)
+        if tx is not None and tx.phase is TxPhase.PENDING:
+            self._reads_granted(tx)
+
+    def _reads_granted(self, tx: Transaction) -> None:
+        tx.phase = TxPhase.READING
+        for key in tx.spec.read_keys:
+            versioned = self.store.read(key)
+            tx.reads_observed[key] = (versioned.value, versioned.version)
+        self.trace.emit(self.now, self.name, "tx.reads_done", tx=tx.tx_id)
+        if tx.read_only:
+            self._commit_readonly(tx)
+            return
+        if not self.hold_read_locks:
+            self.locks.release_all(tx.tx_id)
+        self.wal.log_begin(tx.tx_id)
+        tx.phase = TxPhase.EXECUTING
+        self.start_update(tx)
+
+    def start_update(self, tx: Transaction) -> None:
+        """Protocol-specific dissemination of the write phase."""
+        raise NotImplementedError
+
+    # -- read-only fast path -------------------------------------------------------
+
+    def _commit_readonly(self, tx: Transaction) -> None:
+        """Read-only transactions commit locally and never abort (paper)."""
+        self.locks.release_all(tx.tx_id)
+        tx.phase = TxPhase.COMMITTED
+        tx.commit_time = self.now
+        self.recorder.record_commit(
+            tx.tx_id, self.site, tx.observed_versions(), {}, self.now
+        )
+        self.metrics.tx_committed(tx, self.now)
+        self.local.pop(tx.tx_id, None)
+        self.trace.emit(self.now, self.name, "tx.commit_readonly", tx=tx.tx_id)
+        if self.on_complete is not None:
+            self.on_complete(tx, True)
+
+    # -- shared commit/abort plumbing -----------------------------------------------
+
+    def install_writes(self, tx_id: str, writes: dict[str, Any]) -> dict[str, int]:
+        """Apply committed writes to this replica, logging redo records.
+
+        Keys are installed in sorted order so replicas that commit the same
+        transactions in the same per-key order converge bit-for-bit.
+        Returns the installed version numbers.
+        """
+        versions: dict[str, int] = {}
+        for key in sorted(writes):
+            self.wal.log_write(tx_id, key, writes[key])
+            versions[key] = self.store.install(key, writes[key], tx_id)
+        self.wal.log_commit(tx_id)
+        return versions
+
+    def commit_home(self, tx: Transaction, installed: dict[str, int]) -> None:
+        """Finish a committed update transaction at its home site."""
+        tx.phase = TxPhase.COMMITTED
+        tx.commit_time = self.now
+        tx.writes_installed = dict(installed)
+        self.recorder.record_commit(
+            tx.tx_id, self.site, tx.observed_versions(), installed, self.now
+        )
+        self.metrics.tx_committed(tx, self.now)
+        self.local.pop(tx.tx_id, None)
+        self.public.discard(tx.tx_id)
+        self.trace.emit(self.now, self.name, "tx.commit", tx=tx.tx_id)
+        if self.on_complete is not None:
+            self.on_complete(tx, True)
+
+    def abort_home(self, tx: Transaction, reason: AbortReason) -> None:
+        """Finish an aborted transaction at its home site."""
+        if tx.terminal:
+            return
+        self.locks.release_all(tx.tx_id)
+        self.wal.log_abort(tx.tx_id)
+        self._complete_abort(tx, reason)
+
+    def _complete_abort(self, tx: Transaction, reason: AbortReason) -> None:
+        tx.phase = TxPhase.ABORTED
+        tx.abort_reason = reason
+        self.metrics.tx_aborted(tx, reason, self.now)
+        self.local.pop(tx.tx_id, None)
+        self.public.discard(tx.tx_id)
+        self.trace.emit(
+            self.now, self.name, "tx.abort", tx=tx.tx_id, reason=reason.value
+        )
+        if self.on_complete is not None:
+            self.on_complete(tx, False)
+
+    # -- local reader preemption (CBP rule c, DESIGN.md) ------------------------------
+
+    def preempt_local_readers(self, key: str, exempt: str) -> list[str]:
+        """Abort-and-restart local update transactions that only hold a read
+        lock on ``key`` and have not broadcast anything yet.
+
+        Such transactions are invisible to other sites, so aborting them is
+        purely local.  Returns the preempted tx ids.  Read-only transactions
+        are never preempted (the paper's guarantee); "public" update
+        transactions are left to the protocol's conflict rules.
+        """
+        preempted: list[str] = []
+        for holder, mode in list(self.locks.holders_of(key).items()):
+            if holder == exempt or mode is not LockMode.SHARED:
+                continue
+            tx = self.local.get(holder)
+            if tx is None or tx.read_only or holder in self.public:
+                continue
+            if tx.phase in (TxPhase.PENDING, TxPhase.READING, TxPhase.EXECUTING):
+                self.metrics.local_reader_preemptions += 1
+                self.abort_home(tx, AbortReason.READER_PREEMPTED)
+                preempted.append(holder)
+        return preempted
+
+    # -- checkpointing ------------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Truncate the redo log: the current store is the recovery point.
+
+        Without checkpoints the WAL grows without bound; with them, local
+        crash recovery is "load the checkpoint snapshot, replay the (short)
+        log tail" — verified by :meth:`rebuild_from_local_log`.
+        """
+        self._checkpoint = self.store.export_snapshot()
+        self.wal.truncate()
+        self.checkpoints_taken += 1
+
+    def install_snapshot(self, objects) -> None:
+        """Adopt a received state-transfer snapshot as committed state and
+        as the new local recovery point (checkpoint + empty log)."""
+        self.store.load_snapshot(objects)
+        self._checkpoint = tuple(objects)
+        self.wal.truncate()
+        self.checkpoints_taken += 1
+
+    def rebuild_from_local_log(self) -> VersionedStore:
+        """Reconstruct committed state from checkpoint + WAL (recovery
+        fidelity check: the result must equal the live store)."""
+        rebuilt = VersionedStore()
+        if self._checkpoint is not None:
+            rebuilt.load_snapshot(self._checkpoint)
+        else:
+            rebuilt.initialize(self.store.keys())
+        self.wal.replay(rebuilt)
+        return rebuilt
+
+    # -- crash / recovery ------------------------------------------------------------
+
+    def on_crash(self) -> None:
+        """Fail-stop: volatile state (lock table, in-flight transactions)
+        is lost.  The store and WAL survive, as on a real disk; recovery
+        replaces the store with a snapshot anyway."""
+        self.locks = LockManager()
+        self.local.clear()
+        self.public.clear()
+
+    # -- view plumbing -------------------------------------------------------------
+
+    def on_view_change(self, members: list[int], has_quorum: bool) -> None:
+        """Adopt a new view (called by the cluster's membership wiring)."""
+        self.view_members = sorted(members)
+        self.has_quorum = has_quorum
+
+    def other_members(self) -> list[int]:
+        return [m for m in self.view_members if m != self.site]

@@ -1,0 +1,30 @@
+"""Per-site database substrate.
+
+Each replica owns a :class:`repro.db.storage.VersionedStore`, a strict
+two-phase-locking :class:`repro.db.locks.LockManager`, and a
+:class:`repro.db.wal.WriteAheadLog`.  A single global
+:class:`repro.db.serialization.HistoryRecorder` turns the paper's 1SR proof
+obligation into an executable check (one-copy serialization graph
+acyclicity) asserted by every test and benchmark run.
+"""
+
+from repro.db.locks import (
+    LockManager,
+    LockMode,
+    LockPolicyError,
+)
+from repro.db.serialization import HistoryRecorder, SerializationResult
+from repro.db.storage import VersionedStore
+from repro.db.wal import LogRecord, LogRecordType, WriteAheadLog
+
+__all__ = [
+    "HistoryRecorder",
+    "LockManager",
+    "LockMode",
+    "LockPolicyError",
+    "LogRecord",
+    "LogRecordType",
+    "SerializationResult",
+    "VersionedStore",
+    "WriteAheadLog",
+]

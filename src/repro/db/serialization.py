@@ -1,0 +1,233 @@
+"""Executable one-copy serializability checking.
+
+The paper proves its protocols produce one-copy serializable executions via
+one-copy serialization graphs [BG87, BHG87].  This module turns that proof
+technique into a runtime check: a global :class:`HistoryRecorder` collects,
+for every *committed* transaction, the exact versions it read and installed;
+:meth:`HistoryRecorder.check` then builds the one-copy serialization graph
+and verifies it is acyclic.
+
+Edges (versions are per-object and dense, version 0 is initial):
+
+- ``wr``: the writer of version v  ->  every reader of version v
+- ``ww``: the writer of version v  ->  the writer of version v+1
+- ``rw``: every reader of version v  ->  the writer of version v+1
+
+Acyclicity of this graph over the committed transactions (with the initial
+transaction T0 as the source) certifies one-copy serializability of the
+execution, because replicas also converge on a single version order per
+object (checked separately by :func:`replicas_converged`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+INITIAL_TX = "T0(initial)"
+
+
+@dataclass(frozen=True)
+class CommittedTransaction:
+    """What one committed transaction observed and produced."""
+
+    tx: str
+    site: int
+    reads: tuple[tuple[str, int], ...]  # (key, version read)
+    writes: tuple[tuple[str, int], ...]  # (key, version installed)
+    commit_time: float
+
+
+@dataclass
+class SerializationResult:
+    """Outcome of the 1SR check."""
+
+    acyclic: bool
+    cycle: Optional[list[str]] = None
+    version_conflicts: list[str] = field(default_factory=list)
+    num_transactions: int = 0
+    num_edges: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.acyclic and not self.version_conflicts
+
+    def explain(self) -> str:
+        if self.ok:
+            return (
+                f"1SR OK: {self.num_transactions} committed transactions, "
+                f"{self.num_edges} edges, acyclic"
+            )
+        parts = []
+        if self.cycle:
+            parts.append("cycle: " + " -> ".join(self.cycle + [self.cycle[0]]))
+        parts.extend(self.version_conflicts)
+        return "1SR VIOLATION: " + "; ".join(parts)
+
+
+class HistoryRecorder:
+    """Global (omniscient-observer) record of the committed history."""
+
+    def __init__(self) -> None:
+        self.committed: list[CommittedTransaction] = []
+        self._by_tx: dict[str, CommittedTransaction] = {}
+
+    def record_commit(
+        self,
+        tx: str,
+        site: int,
+        reads: dict[str, int],
+        writes: dict[str, int],
+        commit_time: float,
+    ) -> None:
+        """Record a committed transaction (called once, by its initiator)."""
+        if tx in self._by_tx:
+            raise ValueError(f"transaction {tx} recorded twice")
+        record = CommittedTransaction(
+            tx,
+            site,
+            tuple(sorted(reads.items())),
+            tuple(sorted(writes.items())),
+            commit_time,
+        )
+        self.committed.append(record)
+        self._by_tx[tx] = record
+
+    def __len__(self) -> int:
+        return len(self.committed)
+
+    def check(self) -> SerializationResult:
+        """Build the one-copy serialization graph and test acyclicity."""
+        writer_of: dict[tuple[str, int], str] = {}
+        conflicts: list[str] = []
+        max_version: dict[str, int] = {}
+
+        for record in self.committed:
+            for key, version in record.writes:
+                slot = (key, version)
+                if slot in writer_of:
+                    conflicts.append(
+                        f"{key} version {version} written by both "
+                        f"{writer_of[slot]} and {record.tx}"
+                    )
+                else:
+                    writer_of[slot] = record.tx
+                max_version[key] = max(max_version.get(key, 0), version)
+
+        # Version-order density: every version 1..max must have a writer.
+        for key, top in max_version.items():
+            for version in range(1, top + 1):
+                if (key, version) not in writer_of:
+                    conflicts.append(f"{key} version {version} has no recorded writer")
+
+        edges: dict[str, set[str]] = {}
+
+        def add_edge(src: str, dst: str) -> None:
+            if src != dst:
+                edges.setdefault(src, set()).add(dst)
+
+        for record in self.committed:
+            for key, version in record.reads:
+                if version > 0 and (key, version) not in writer_of:
+                    conflicts.append(
+                        f"{record.tx} read {key} version {version}, "
+                        f"which no committed transaction wrote"
+                    )
+                writer = writer_of.get((key, version), INITIAL_TX) if version > 0 else INITIAL_TX
+                add_edge(writer, record.tx)  # wr
+                successor = writer_of.get((key, version + 1))
+                if successor is not None:
+                    add_edge(record.tx, successor)  # rw
+            for key, version in record.writes:
+                if version > 1:
+                    predecessor = writer_of.get((key, version - 1))
+                    if predecessor is not None:
+                        add_edge(predecessor, record.tx)  # ww
+                else:
+                    add_edge(INITIAL_TX, record.tx)
+                successor = writer_of.get((key, version + 1))
+                if successor is not None:
+                    add_edge(record.tx, successor)  # ww forward
+
+        num_edges = sum(len(targets) for targets in edges.values())
+        cycle = _find_cycle(edges)
+        return SerializationResult(
+            acyclic=cycle is None,
+            cycle=cycle,
+            version_conflicts=conflicts,
+            num_transactions=len(self.committed),
+            num_edges=num_edges,
+        )
+
+    def serial_order(self) -> Optional[list[str]]:
+        """A topological order witnessing serializability, if acyclic."""
+        result = self.check()
+        if not result.acyclic:
+            return None
+        edges: dict[str, set[str]] = {}
+        nodes = {record.tx for record in self.committed} | {INITIAL_TX}
+        # Rebuild edges (cheap; check() already validated them).
+        writer_of = {
+            (key, version): record.tx
+            for record in self.committed
+            for key, version in record.writes
+        }
+        for record in self.committed:
+            for key, version in record.reads:
+                writer = writer_of.get((key, version), INITIAL_TX)
+                edges.setdefault(writer, set()).add(record.tx)  # wr
+                successor = writer_of.get((key, version + 1))
+                if successor is not None and successor != record.tx:
+                    edges.setdefault(record.tx, set()).add(successor)  # rw
+            for key, version in record.writes:
+                predecessor = writer_of.get((key, version - 1), INITIAL_TX)
+                edges.setdefault(predecessor, set()).add(record.tx)  # ww
+        order: list[str] = []
+        visited: set[str] = set()
+
+        def visit(node: str) -> None:
+            if node in visited:
+                return
+            visited.add(node)
+            for succ in sorted(edges.get(node, ()), key=str):
+                visit(succ)
+            order.append(node)
+
+        for node in sorted(nodes, key=str):
+            visit(node)
+        order.reverse()
+        return [tx for tx in order if tx != INITIAL_TX]
+
+
+def _find_cycle(edges: dict[str, set[str]]) -> Optional[list[str]]:
+    WHITE, GREY, BLACK = 0, 1, 2
+    color: dict[str, int] = {}
+    stack: list[str] = []
+
+    def visit(node: str) -> Optional[list[str]]:
+        color[node] = GREY
+        stack.append(node)
+        for succ in sorted(edges.get(node, ()), key=str):
+            state = color.get(succ, WHITE)
+            if state == GREY:
+                return stack[stack.index(succ):]
+            if state == WHITE:
+                found = visit(succ)
+                if found is not None:
+                    return found
+        stack.pop()
+        color[node] = BLACK
+        return None
+
+    for node in sorted(edges, key=str):
+        if color.get(node, WHITE) == WHITE:
+            cycle = visit(node)
+            if cycle is not None:
+                return cycle
+    return None
+
+
+def replicas_converged(stores: Iterable) -> bool:
+    """True when all replica stores expose identical committed state."""
+    digests = [store.digest() for store in stores]
+    return all(digest == digests[0] for digest in digests[1:]) if digests else True

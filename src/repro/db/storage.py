@@ -1,0 +1,138 @@
+"""Multiversioned per-site object store.
+
+Objects are identified by string keys.  Each committed write installs a new
+version; version numbers are per-object and dense (0 is the initial
+version).  Old versions are retained (bounded by ``history_limit``) so that
+read-only transactions can be served a consistent snapshot and so the 1SR
+checker can resolve exactly which version every read observed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+
+@dataclass(frozen=True)
+class VersionedValue:
+    """One committed version of one object."""
+
+    version: int
+    value: Any
+    writer: Optional[str]  # transaction id, None for the initial version
+
+
+class StorageError(KeyError):
+    """Raised when accessing an unknown object or version."""
+
+
+class VersionedStore:
+    """The committed state of one replica."""
+
+    def __init__(self, history_limit: int = 16):
+        if history_limit < 1:
+            raise ValueError("history_limit must be at least 1")
+        self.history_limit = history_limit
+        self._objects: dict[str, list[VersionedValue]] = {}
+        self.install_count = 0
+
+    def initialize(self, keys: Iterable[str], value: Any = 0) -> None:
+        """Create objects at version 0 (the database's initial state)."""
+        for key in keys:
+            if key not in self._objects:
+                self._objects[key] = [VersionedValue(0, value, None)]
+
+    def contains(self, key: str) -> bool:
+        return key in self._objects
+
+    def keys(self) -> list[str]:
+        return sorted(self._objects)
+
+    def read(self, key: str) -> VersionedValue:
+        """Latest committed version of ``key``."""
+        versions = self._objects.get(key)
+        if not versions:
+            raise StorageError(f"unknown object {key!r}")
+        return versions[-1]
+
+    def read_version(self, key: str, version: int) -> VersionedValue:
+        """A specific retained version (snapshot reads)."""
+        versions = self._objects.get(key)
+        if not versions:
+            raise StorageError(f"unknown object {key!r}")
+        for candidate in reversed(versions):
+            if candidate.version == version:
+                return candidate
+        raise StorageError(f"version {version} of {key!r} not retained")
+
+    def read_at_or_before(self, key: str, version: int) -> VersionedValue:
+        """Latest retained version with number <= ``version`` (snapshots)."""
+        versions = self._objects.get(key)
+        if not versions:
+            raise StorageError(f"unknown object {key!r}")
+        for candidate in reversed(versions):
+            if candidate.version <= version:
+                return candidate
+        raise StorageError(f"no version of {key!r} at or before {version}")
+
+    def version(self, key: str) -> int:
+        return self.read(key).version
+
+    def install(self, key: str, value: Any, writer: str) -> int:
+        """Install a new committed version; returns its version number."""
+        versions = self._objects.get(key)
+        if versions is None:
+            raise StorageError(f"unknown object {key!r}")
+        new_version = versions[-1].version + 1
+        versions.append(VersionedValue(new_version, value, writer))
+        if len(versions) > self.history_limit:
+            del versions[: len(versions) - self.history_limit]
+        self.install_count += 1
+        return new_version
+
+    def force_version(self, key: str, version: int, value: Any, writer: str) -> None:
+        """Install a version with an explicit number (state transfer only)."""
+        versions = self._objects.setdefault(key, [])
+        if versions and versions[-1].version >= version:
+            raise StorageError(
+                f"cannot force {key!r} version {version} at or below "
+                f"current {versions[-1].version}"
+            )
+        versions.append(VersionedValue(version, value, writer))
+
+    def latest_snapshot(self) -> dict[str, VersionedValue]:
+        """Latest version of every object (convergence checking)."""
+        return {key: versions[-1] for key, versions in self._objects.items()}
+
+    def digest(self) -> tuple:
+        """Hashable summary of the latest committed state of every object."""
+        return tuple(
+            (key, versions[-1].version, versions[-1].value)
+            for key, versions in sorted(self._objects.items())
+        )
+
+    def export_snapshot(self) -> tuple[tuple[str, int, Any], ...]:
+        """Latest version of every object as wire-friendly tuples
+        (key, version, value) — the payload of a state transfer."""
+        return tuple(
+            (key, versions[-1].version, versions[-1].value)
+            for key, versions in sorted(self._objects.items())
+        )
+
+    def load_snapshot(
+        self, snapshot: Iterable[tuple[str, int, Any]], writer: str = "state-transfer"
+    ) -> None:
+        """Replace our state with a received snapshot (state transfer)."""
+        self._objects = {
+            key: [VersionedValue(version, value, writer if version > 0 else None)]
+            for key, version, value in snapshot
+        }
+
+    def clone_from(self, other: "VersionedStore") -> None:
+        """Replace our state with a copy of ``other`` (state transfer)."""
+        self._objects = {
+            key: list(versions) for key, versions in other._objects.items()
+        }
+
+    def __len__(self) -> int:
+        return len(self._objects)

@@ -1,0 +1,46 @@
+"""Simulated asynchronous message-passing network.
+
+This package is the substitution for the paper's LAN + group-communication
+hardware: point-to-point FIFO links with configurable latency distributions,
+optional message loss compensated by an ARQ transport, and partitions.
+
+Layering (bottom to top):
+
+- :class:`repro.net.network.Network` -- unreliable datagram fabric with
+  per-link FIFO ordering and loss/partition injection.
+- :class:`repro.net.transport.ReliableTransport` -- per-link ARQ giving
+  reliable FIFO channels between correct, connected sites (what the paper
+  assumes of its links).
+- The broadcast primitives in :mod:`repro.broadcast` build on the transport.
+"""
+
+from repro.net.latency import (
+    FixedLatency,
+    LanLatency,
+    LatencyModel,
+    LognormalLatency,
+    UniformLatency,
+    WanLatency,
+)
+from repro.net.network import Datagram, Network, NetworkStats
+from repro.net.partition import PartitionManager
+from repro.net.router import ChannelRouter
+from repro.net.sizes import estimate_size, wire_size
+from repro.net.transport import ReliableTransport
+
+__all__ = [
+    "ChannelRouter",
+    "Datagram",
+    "FixedLatency",
+    "LanLatency",
+    "LatencyModel",
+    "LognormalLatency",
+    "Network",
+    "NetworkStats",
+    "PartitionManager",
+    "ReliableTransport",
+    "UniformLatency",
+    "WanLatency",
+    "estimate_size",
+    "wire_size",
+]

@@ -1,0 +1,213 @@
+"""The datagram fabric: per-link FIFO, latency, loss, partitions, crashes.
+
+:class:`Network` models the physical medium.  Guarantees and non-guarantees:
+
+- **FIFO per link**: two datagrams from site A to site B are delivered in
+  send order (the paper assumes FIFO links).  Implemented by clamping each
+  link's delivery time to be monotonically non-decreasing.
+- **Loss**: each datagram is dropped independently with ``loss_rate``
+  probability; recovery from loss is the transport's job.
+- **Partitions / crashes**: datagrams to unreachable or crashed sites are
+  silently dropped (counted in the stats).
+
+The network also keeps the message accounting used by the paper-style cost
+comparisons (experiment E1): physical point-to-point sends per payload kind.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.net.latency import FixedLatency, LatencyModel
+from repro.net.sizes import wire_size
+from repro.net.partition import PartitionManager
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import RngRegistry
+
+
+@dataclass
+class Datagram:
+    """One point-to-point message on the wire."""
+
+    src: int
+    dst: int
+    payload: Any
+    kind: str
+    send_time: float
+    deliver_time: float = 0.0
+
+
+@dataclass
+class NetworkStats:
+    """Message accounting, the raw material of experiment E1."""
+
+    sent: int = 0
+    delivered: int = 0
+    bytes_sent: int = 0
+    dropped_loss: int = 0
+    dropped_partition: int = 0
+    dropped_crashed: int = 0
+    by_kind: Counter = field(default_factory=Counter)
+    bytes_by_kind: Counter = field(default_factory=Counter)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "bytes_sent": self.bytes_sent,
+            "dropped_loss": self.dropped_loss,
+            "dropped_partition": self.dropped_partition,
+            "dropped_crashed": self.dropped_crashed,
+            "by_kind": dict(self.by_kind),
+        }
+
+
+class Network:
+    """Simulated datagram network connecting numbered sites.
+
+    Sites register a receive callback with :meth:`attach`; crashed sites are
+    marked with :meth:`set_site_up`.  The optional ``payload_kind`` function
+    extracts an accounting label from payloads (defaults to the payload's
+    ``kind`` attribute, or its type name).
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        num_sites: int,
+        latency: Optional[LatencyModel] = None,
+        rng: Optional[RngRegistry] = None,
+        loss_rate: float = 0.0,
+        bandwidth: Optional[float] = None,
+    ):
+        if num_sites <= 0:
+            raise ValueError("num_sites must be positive")
+        if not 0 <= loss_rate < 1:
+            raise ValueError("loss_rate must be in [0, 1)")
+        if bandwidth is not None and bandwidth <= 0:
+            raise ValueError("bandwidth must be positive (bytes per ms)")
+        self.engine = engine
+        self.num_sites = num_sites
+        self.latency = latency if latency is not None else FixedLatency(1.0)
+        self.loss_rate = loss_rate
+        #: Optional per-link bandwidth in bytes/ms: adds size/bandwidth
+        #: transmission delay on top of the propagation latency.
+        self.bandwidth = bandwidth
+        self.partitions = PartitionManager(num_sites)
+        self.stats = NetworkStats()
+        self._rng = (rng or RngRegistry(0)).stream("network")
+        self._handlers: list[Optional[Callable[[Datagram], None]]] = [None] * num_sites
+        self._site_up = [True] * num_sites
+        # Per-(src, dst) last scheduled delivery time, for FIFO clamping.
+        self._last_delivery: dict[tuple[int, int], float] = {}
+
+    def attach(self, site: int, handler: Callable[[Datagram], None]) -> None:
+        """Register the receive callback for ``site``."""
+        self._check_site(site)
+        self._handlers[site] = handler
+
+    def set_site_up(self, site: int, up: bool) -> None:
+        """Mark a site crashed (False) or recovered (True)."""
+        self._check_site(site)
+        self._site_up[site] = up
+
+    def site_is_up(self, site: int) -> bool:
+        self._check_site(site)
+        return self._site_up[site]
+
+    def send(self, src: int, dst: int, payload: Any, kind: Optional[str] = None) -> None:
+        """Send one datagram; it may be lost, partitioned away, or delivered.
+
+        Loopback (``src == dst``) is delivered with zero loss after a tiny
+        scheduling delay so local delivery still goes through the event loop
+        (keeping callback ordering uniform).
+        """
+        self._check_site(src)
+        self._check_site(dst)
+        label = kind if kind is not None else _kind_of(payload)
+        size = wire_size(payload)
+        self.stats.sent += 1
+        self.stats.by_kind[label] += 1
+        self.stats.bytes_by_kind[label] += size
+        self.stats.bytes_sent += size
+
+        if not self._site_up[src]:
+            # A crashed site cannot send; callers normally guard this, but a
+            # late timer may race a crash.
+            self.stats.dropped_crashed += 1
+            return
+        if src != dst:
+            if not self.partitions.connected(src, dst):
+                self.stats.dropped_partition += 1
+                return
+            if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
+                self.stats.dropped_loss += 1
+                return
+            delay = self.latency.sample(self._rng, src, dst)
+            if self.bandwidth is not None:
+                delay += size / self.bandwidth
+        else:
+            delay = 0.0
+
+        now = self.engine.now
+        deliver_at = now + delay
+        # FIFO clamp: never deliver before an earlier datagram on this link.
+        key = (src, dst)
+        floor = self._last_delivery.get(key, 0.0)
+        if deliver_at < floor:
+            deliver_at = floor
+        self._last_delivery[key] = deliver_at
+
+        datagram = Datagram(src, dst, payload, label, now, deliver_at)
+        self.engine.schedule_at(deliver_at, self._deliver, datagram)
+
+    def multicast(
+        self,
+        src: int,
+        dsts: list[int],
+        payload: Any,
+        kind: Optional[str] = None,
+        include_self: bool = False,
+    ) -> None:
+        """Unicast ``payload`` to each destination (the LAN broadcast model).
+
+        The paper's cost model treats a broadcast to ``n`` sites as ``n``
+        point-to-point messages in the absence of hardware multicast; this
+        method makes that accounting explicit.
+        """
+        for dst in dsts:
+            if dst == src and not include_self:
+                continue
+            self.send(src, dst, payload, kind)
+
+    def _deliver(self, datagram: Datagram) -> None:
+        if not self._site_up[datagram.dst]:
+            self.stats.dropped_crashed += 1
+            return
+        if datagram.src != datagram.dst and not self.partitions.connected(
+            datagram.src, datagram.dst
+        ):
+            # Partition struck while in flight.
+            self.stats.dropped_partition += 1
+            return
+        handler = self._handlers[datagram.dst]
+        if handler is None:
+            raise RuntimeError(f"site {datagram.dst} has no attached handler")
+        self.stats.delivered += 1
+        handler(datagram)
+
+    def _check_site(self, site: int) -> None:
+        if not 0 <= site < self.num_sites:
+            raise ValueError(f"unknown site {site} (num_sites={self.num_sites})")
+
+    def reset_stats(self) -> None:
+        self.stats = NetworkStats()
+
+
+def _kind_of(payload: Any) -> str:
+    kind = getattr(payload, "kind", None)
+    if isinstance(kind, str):
+        return kind
+    return type(payload).__name__

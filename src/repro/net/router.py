@@ -1,0 +1,72 @@
+"""Channel demultiplexer over a site's transport.
+
+A site runs several message-consuming components (broadcast stack, failure
+detector, membership, protocol point-to-point traffic).  The router tags
+payloads with a channel name at the sender and dispatches by channel at the
+receiver, so the components stay decoupled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.net.transport import ReliableTransport
+
+
+@dataclass
+class Tagged:
+    """A channel-tagged payload travelling through the transport."""
+
+    channel: str
+    payload: Any
+    kind: str
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            payload_kind = getattr(self.payload, "kind", None)
+            self.kind = (
+                payload_kind if isinstance(payload_kind, str) else type(self.payload).__name__
+            )
+
+
+class ChannelRouter:
+    """Sends and dispatches channel-tagged payloads for one site."""
+
+    def __init__(self, transport: ReliableTransport):
+        self.transport = transport
+        self.site = transport.site
+        self._handlers: dict[str, Callable[[int, Any], None]] = {}
+        transport.set_receiver(self._dispatch)
+
+    def register(self, channel: str, handler: Callable[[int, Any], None]) -> None:
+        """Register ``handler(src_site, payload)`` for ``channel``."""
+        if channel in self._handlers:
+            raise ValueError(f"channel {channel!r} already registered")
+        self._handlers[channel] = handler
+
+    def send(self, dst: int, channel: str, payload: Any, kind: Optional[str] = None) -> None:
+        self.transport.send(dst, Tagged(channel, payload, kind or ""), kind)
+
+    def multicast(
+        self,
+        dsts: list[int],
+        channel: str,
+        payload: Any,
+        kind: Optional[str] = None,
+        include_self: bool = False,
+    ) -> None:
+        for dst in dsts:
+            if dst == self.site and not include_self:
+                continue
+            self.send(dst, channel, payload, kind)
+
+    def _dispatch(self, src: int, payload: Any) -> None:
+        if not isinstance(payload, Tagged):
+            raise RuntimeError(f"site {self.site}: untagged payload {payload!r} from {src}")
+        handler = self._handlers.get(payload.channel)
+        if handler is None:
+            raise RuntimeError(
+                f"site {self.site}: no handler for channel {payload.channel!r}"
+            )
+        handler(src, payload.payload)

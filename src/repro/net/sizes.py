@@ -1,0 +1,64 @@
+"""Approximate wire-size estimation for simulated payloads.
+
+The paper's cost analysis counts messages; real deployments also care
+about *bytes* (a CBP write set carries values, an RBP vote carries one
+bit).  This module estimates a serialized size for arbitrary payload
+objects so the network can keep byte accounting and optionally model
+transmission delay over a finite-bandwidth link.
+
+The estimate is intentionally simple and deterministic: primitive sizes
+plus per-object framing overhead, recursing through containers and
+dataclass-style ``__dict__``/`__slots__`` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: Per-message envelope overhead (headers, addressing), in bytes.
+HEADER_BYTES = 48
+#: Per-object framing overhead inside a payload.
+OBJECT_OVERHEAD = 8
+
+_PRIMITIVE_SIZES = {
+    bool: 1,
+    int: 8,
+    float: 8,
+    type(None): 0,
+}
+
+
+def estimate_size(payload: Any, _depth: int = 0) -> int:
+    """Deterministic approximate serialized size of ``payload`` in bytes."""
+    if _depth > 12:  # cycles / pathological nesting: stop estimating
+        return OBJECT_OVERHEAD
+    for primitive, size in _PRIMITIVE_SIZES.items():
+        if type(payload) is primitive:
+            return size
+    if isinstance(payload, str):
+        return len(payload.encode("utf-8", errors="replace"))
+    if isinstance(payload, bytes):
+        return len(payload)
+    if isinstance(payload, dict):
+        return OBJECT_OVERHEAD + sum(
+            estimate_size(k, _depth + 1) + estimate_size(v, _depth + 1)
+            for k, v in payload.items()
+        )
+    if isinstance(payload, (list, tuple, set, frozenset)):
+        return OBJECT_OVERHEAD + sum(estimate_size(item, _depth + 1) for item in payload)
+    inner = getattr(payload, "__dict__", None)
+    if inner is not None:
+        return OBJECT_OVERHEAD + sum(
+            estimate_size(value, _depth + 1) for value in inner.values()
+        )
+    slots = getattr(payload, "__slots__", None)
+    if slots is not None:
+        return OBJECT_OVERHEAD + sum(
+            estimate_size(getattr(payload, name, None), _depth + 1) for name in slots
+        )
+    return OBJECT_OVERHEAD
+
+
+def wire_size(payload: Any) -> int:
+    """Payload size plus the per-message header."""
+    return HEADER_BYTES + estimate_size(payload)

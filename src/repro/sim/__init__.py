@@ -1,0 +1,33 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel is the substrate substitution for the paper's 1997 LAN testbed:
+every protocol in :mod:`repro` runs on top of a single-threaded, seeded,
+discrete-event engine so that experiments are exactly reproducible.
+
+Public classes:
+
+- :class:`repro.sim.engine.SimulationEngine` -- the event loop.
+- :class:`repro.sim.engine.EventHandle` -- cancellable handle for a
+  scheduled callback.
+- :class:`repro.sim.process.Process` -- base class for simulated entities
+  (sites, failure detectors, clients).
+- :class:`repro.sim.rng.RngRegistry` -- named deterministic random streams.
+- :class:`repro.sim.trace.TraceLog` -- structured event tracing.
+"""
+
+from repro.sim.engine import EventHandle, SimulationEngine
+from repro.sim.faults import FaultEvent, FaultSchedule
+from repro.sim.process import Process
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceLog, TraceRecord
+
+__all__ = [
+    "EventHandle",
+    "FaultEvent",
+    "FaultSchedule",
+    "SimulationEngine",
+    "Process",
+    "RngRegistry",
+    "TraceLog",
+    "TraceRecord",
+]

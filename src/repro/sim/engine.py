@@ -1,0 +1,185 @@
+"""Discrete-event simulation engine.
+
+The engine maintains a priority queue of timestamped callbacks.  Time is a
+float in abstract "milliseconds"; nothing in the library depends on the unit,
+but latency models and default timeouts are written as if it were
+milliseconds on a LAN.
+
+Determinism guarantees:
+
+- Events at the same timestamp fire in the order they were scheduled
+  (a monotonically increasing sequence number breaks ties).
+- The engine itself never consults a random source; randomness enters only
+  through :class:`repro.sim.rng.RngRegistry` streams used by latency models
+  and workloads.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the engine (e.g. scheduling in the past)."""
+
+
+class EventHandle:
+    """A cancellable handle to a scheduled event.
+
+    Cancellation is lazy: the heap entry stays in place but is skipped when
+    popped.  ``fired`` is True once the callback has run.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "fired")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn: Optional[Callable[..., Any]] = fn
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (no-op if it already fired)."""
+        self.cancelled = True
+        # Drop references so cancelled timers don't pin large closures.
+        self.fn = None
+        self.args = ()
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is scheduled and not yet fired/cancelled."""
+        return not self.cancelled and not self.fired
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        return f"<EventHandle t={self.time:.3f} seq={self.seq} {state}>"
+
+
+class SimulationEngine:
+    """Single-threaded deterministic discrete-event loop.
+
+    Typical use::
+
+        engine = SimulationEngine()
+        engine.schedule(10.0, my_callback, arg1, arg2)
+        engine.run(until=1000.0)
+
+    The engine stops when the event queue is empty, when ``until`` is
+    reached, or when :meth:`stop` is called from inside a callback.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[EventHandle] = []
+        self._now = 0.0
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at an absolute simulation time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before current time t={self._now}"
+            )
+        self._seq += 1
+        handle = EventHandle(time, self._seq, fn, args)
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def stop(self) -> None:
+        """Request the run loop to exit after the current event."""
+        self._stopped = True
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next pending event, or None if queue is empty."""
+        self._discard_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def step(self) -> bool:
+        """Run the single next pending event.
+
+        Returns False when no pending event remains.
+        """
+        self._discard_cancelled()
+        if not self._heap:
+            return False
+        handle = heapq.heappop(self._heap)
+        self._now = handle.time
+        handle.fired = True
+        fn, args = handle.fn, handle.args
+        handle.fn = None
+        handle.args = ()
+        assert fn is not None
+        fn(*args)
+        self.events_processed += 1
+        return True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        """Run events until exhaustion, ``until`` time, event budget, or predicate.
+
+        ``stop_when`` is evaluated after every processed event; it allows a
+        harness to run "until all transactions are terminal" even while
+        perpetual timers (heartbeats) keep the queue non-empty.
+        """
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        self._stopped = False
+        processed = 0
+        try:
+            while not self._stopped:
+                next_time = self.peek_time()
+                if next_time is None:
+                    if until is not None and until > self._now:
+                        # An empty queue still lets time pass up to the
+                        # requested horizon (run_for semantics).
+                        self._now = until
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                if not self.step():  # pragma: no cover - peek guarantees an event
+                    break
+                processed += 1
+                if stop_when is not None and stop_when():
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+        finally:
+            self._running = False
+
+    def _discard_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def pending_count(self) -> int:
+        """Number of not-cancelled events still queued (O(n))."""
+        return sum(1 for h in self._heap if not h.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SimulationEngine t={self._now:.3f} queued={len(self._heap)}>"

@@ -1,0 +1,106 @@
+"""Declarative fault schedules for experiments and tests.
+
+Fault-tolerance scenarios (E9, the failover example) share a shape: crash
+this site at t1, partition at t2, heal at t3, recover at t4.  A
+:class:`FaultSchedule` declares that timeline once, applies it to a
+cluster, and keeps an audit log of what was injected when — so a test can
+assert both the injections and their observable consequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, recorded in the schedule's audit log."""
+
+    time: float
+    action: str
+    detail: Any = None
+
+    def __str__(self) -> str:
+        return f"[{self.time:10.1f}] {self.action} {self.detail if self.detail is not None else ''}"
+
+
+@dataclass
+class FaultSchedule:
+    """A timeline of fault injections against one cluster."""
+
+    cluster: "Cluster"
+    log: list[FaultEvent] = field(default_factory=list)
+
+    # -- declarations -------------------------------------------------------------
+
+    def crash(self, site: int, at: float) -> "FaultSchedule":
+        """Fail-stop ``site`` at time ``at``."""
+        self._schedule(at, "crash", site, lambda: self.cluster.crash_site(site))
+        return self
+
+    def recover(self, site: int, at: float) -> "FaultSchedule":
+        """Recover ``site`` (rejoin + state transfer) at time ``at``."""
+        self._schedule(at, "recover", site, lambda: self.cluster.recover_site(site))
+        return self
+
+    def partition(self, groups: list[list[int]], at: float) -> "FaultSchedule":
+        """Split the network into ``groups`` at time ``at``."""
+        self._schedule(
+            at, "partition", groups, lambda: self.cluster.partition(groups)
+        )
+        return self
+
+    def heal(self, at: float) -> "FaultSchedule":
+        """Restore full connectivity at time ``at``."""
+        self._schedule(at, "heal", None, self.cluster.heal_partition)
+        return self
+
+    def flaky_links(self, loss_rate: float, at: float, until: Optional[float] = None) -> "FaultSchedule":
+        """Raise the network's loss rate at ``at`` (and restore at ``until``).
+
+        Only meaningful when the cluster was built with a lossy-capable
+        transport (any ``loss_rate`` > 0 enables ARQ); raising loss on a
+        passthrough transport would break the reliable-link assumption, so
+        this guards against it.
+        """
+        network = self.cluster.network
+        if network.loss_rate == 0 and loss_rate > 0:
+            raise ValueError(
+                "flaky_links needs a cluster built with loss_rate > 0 "
+                "(the ARQ transport must be active)"
+            )
+        previous = network.loss_rate
+
+        def raise_loss() -> None:
+            network.loss_rate = loss_rate
+
+        def restore() -> None:
+            network.loss_rate = previous
+
+        self._schedule(at, "flaky_links", loss_rate, raise_loss)
+        if until is not None:
+            self._schedule(until, "flaky_links_restore", previous, restore)
+        return self
+
+    # -- audit ---------------------------------------------------------------------
+
+    def events(self, action: Optional[str] = None) -> list[FaultEvent]:
+        if action is None:
+            return list(self.log)
+        return [event for event in self.log if event.action == action]
+
+    def describe(self) -> str:
+        return "\n".join(str(event) for event in sorted(self.log, key=lambda e: e.time))
+
+    # -- internals -------------------------------------------------------------------
+
+    def _schedule(self, at: float, action: str, detail: Any, fn) -> None:
+        def fire() -> None:
+            self.log.append(FaultEvent(self.cluster.engine.now, action, detail))
+            fn()
+
+        self.cluster.engine.schedule_at(at, fire)

@@ -1,0 +1,88 @@
+"""Structured trace log for simulations.
+
+Protocols emit trace records ("site 2 delivered commit request for T7 at
+t=41.2") through a shared :class:`TraceLog`.  Tests assert on traces; the
+benchmark harness keeps tracing disabled for speed.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One structured trace event."""
+
+    time: float
+    source: str
+    kind: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
+        return f"[{self.time:10.3f}] {self.source:<12} {self.kind:<20} {extras}"
+
+
+class TraceLog:
+    """Append-only trace sink with simple filtering helpers.
+
+    ``enabled=False`` turns :meth:`emit` into a counter-only fast path so
+    benchmarks don't pay for record construction.
+    """
+
+    def __init__(self, enabled: bool = True, capacity: Optional[int] = None):
+        self.enabled = enabled
+        self.capacity = capacity
+        self.records: list[TraceRecord] = []
+        self.counts: Counter[str] = Counter()
+
+    def emit(self, time: float, source: str, kind: str, **detail: Any) -> None:
+        """Record one event (cheap no-op body when disabled)."""
+        self.counts[kind] += 1
+        if not self.enabled:
+            return
+        if self.capacity is not None and len(self.records) >= self.capacity:
+            return
+        self.records.append(TraceRecord(time, source, kind, detail))
+
+    def filter(
+        self,
+        kind: Optional[str] = None,
+        source: Optional[str] = None,
+        **detail: Any,
+    ) -> list[TraceRecord]:
+        """Records matching every given criterion."""
+        return list(self.iter_filtered(kind=kind, source=source, **detail))
+
+    def iter_filtered(
+        self,
+        kind: Optional[str] = None,
+        source: Optional[str] = None,
+        **detail: Any,
+    ) -> Iterator[TraceRecord]:
+        for record in self.records:
+            if kind is not None and record.kind != kind:
+                continue
+            if source is not None and record.source != source:
+                continue
+            if any(record.detail.get(k) != v for k, v in detail.items()):
+                continue
+            yield record
+
+    def count(self, kind: str) -> int:
+        """How many events of ``kind`` were emitted (works when disabled)."""
+        return self.counts[kind]
+
+    def dump(self, records: Optional[Iterable[TraceRecord]] = None) -> str:
+        """Human-readable rendering, mainly for debugging failed tests."""
+        return "\n".join(str(r) for r in (records if records is not None else self.records))
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.counts.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)

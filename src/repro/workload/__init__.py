@@ -1,0 +1,18 @@
+"""Workload generation and load drivers for the experiments."""
+
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+from repro.workload.runner import ClosedLoopRunner, OpenLoopRunner
+from repro.workload.scenarios import SCENARIOS, Scenario, get_scenario, scenario_names
+from repro.workload.zipf import ZipfSampler
+
+__all__ = [
+    "ClosedLoopRunner",
+    "OpenLoopRunner",
+    "SCENARIOS",
+    "Scenario",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "ZipfSampler",
+    "get_scenario",
+    "scenario_names",
+]

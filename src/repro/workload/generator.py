@@ -1,0 +1,103 @@
+"""Transaction workload generation.
+
+Produces :class:`repro.core.transaction.TransactionSpec` streams matching
+the paper's model: read operations first, then write operations.  Knobs:
+
+- ``readonly_fraction`` — share of read-only transactions (the paper's
+  protocols commit them locally with no messages; experiment E7);
+- ``zipf_theta`` — key skew (contention, experiment E4);
+- ``read_ops`` / ``write_ops`` — footprint sizes (experiment E8 sweeps
+  writes);
+- ``rmw`` — when True (default) update transactions read what they write
+  (read-modify-write), the case where certification and locking conflicts
+  actually bite.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.core.transaction import TransactionSpec
+from repro.workload.zipf import ZipfSampler
+
+
+@dataclass
+class WorkloadConfig:
+    """Shape of the generated transaction stream."""
+
+    num_objects: int = 64
+    num_sites: int = 4
+    read_ops: int = 2
+    write_ops: int = 2
+    readonly_fraction: float = 0.0
+    readonly_read_ops: int = 4
+    zipf_theta: float = 0.0
+    rmw: bool = True
+    home_policy: str = "round_robin"  # or "random"
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.readonly_fraction <= 1:
+            raise ValueError("readonly_fraction must be in [0, 1]")
+        if self.read_ops + self.write_ops > self.num_objects:
+            raise ValueError("footprint larger than the database")
+        if self.home_policy not in ("round_robin", "random"):
+            raise ValueError(f"unknown home_policy {self.home_policy!r}")
+
+
+class WorkloadGenerator:
+    """Deterministic spec stream for a given (config, rng) pair."""
+
+    def __init__(self, config: WorkloadConfig, rng: random.Random):
+        self.config = config
+        self.rng = rng
+        self.sampler = ZipfSampler(config.num_objects, config.zipf_theta)
+        self._counter = itertools.count(1)
+        self._value_counter = itertools.count(1)
+
+    def next_spec(self, home: Optional[int] = None) -> TransactionSpec:
+        """Generate the next transaction spec."""
+        config = self.config
+        index = next(self._counter)
+        name = f"T{index}"
+        if home is None:
+            if config.home_policy == "round_robin":
+                home = (index - 1) % config.num_sites
+            else:
+                home = self.rng.randrange(config.num_sites)
+        if self.rng.random() < config.readonly_fraction:
+            ranks = self.sampler.sample_distinct(
+                self.rng, min(config.readonly_read_ops, config.num_objects)
+            )
+            return TransactionSpec.make(
+                name, home, read_keys=[f"x{r}" for r in ranks]
+            )
+        total_keys = config.write_ops + (0 if config.rmw else config.read_ops)
+        ranks = self.sampler.sample_distinct(self.rng, max(total_keys, config.write_ops))
+        write_ranks = ranks[: config.write_ops]
+        if config.rmw:
+            extra = [r for r in ranks[config.write_ops:]]
+            read_ranks = write_ranks + extra
+            if config.read_ops > len(read_ranks):
+                # Top up reads with additional distinct keys.
+                more = self.sampler.sample_distinct(self.rng, config.read_ops)
+                read_ranks = list(dict.fromkeys(read_ranks + more))[: config.read_ops]
+            else:
+                read_ranks = read_ranks[: max(config.read_ops, len(write_ranks))]
+                # Always read the written keys under rmw.
+                read_ranks = list(dict.fromkeys(write_ranks + read_ranks))
+        else:
+            read_ranks = ranks[config.write_ops:]
+        writes = {
+            f"x{rank}": f"{name}:v{next(self._value_counter)}" for rank in write_ranks
+        }
+        return TransactionSpec.make(
+            name, home, read_keys=[f"x{r}" for r in read_ranks], writes=writes
+        )
+
+    def stream(self, count: int) -> Iterator[TransactionSpec]:
+        """A finite stream of ``count`` specs."""
+        for _ in range(count):
+            yield self.next_spec()

@@ -1,0 +1,96 @@
+"""Named canonical workload scenarios.
+
+The experiments, examples and CLI keep re-describing the same handful of
+workload shapes; this module gives them names so a scenario can be
+referenced consistently ("hotspot") instead of re-spelling its knobs.
+
+Each scenario is a factory: given the cluster geometry it returns a
+:class:`repro.workload.generator.WorkloadConfig` plus suggested driver
+parameters (mpl, transaction count multiplier).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workload.generator import WorkloadConfig
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named workload shape with suggested driver settings."""
+
+    name: str
+    description: str
+    workload: WorkloadConfig
+    suggested_mpl: int = 6
+
+    def for_sites(self, num_sites: int) -> WorkloadConfig:
+        """The workload configured for a cluster of ``num_sites``."""
+        from dataclasses import replace
+
+        return replace(self.workload, num_sites=num_sites)
+
+
+def _make(name, description, mpl=6, **workload_kwargs) -> Scenario:
+    defaults = dict(num_objects=64, num_sites=4)
+    defaults.update(workload_kwargs)
+    return Scenario(name, description, WorkloadConfig(**defaults), mpl)
+
+
+SCENARIOS: dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        _make(
+            "uniform",
+            "low contention: uniform access over a wide key space",
+            read_ops=2,
+            write_ops=2,
+        ),
+        _make(
+            "hotspot",
+            "Zipf(1.1) hot spot: the contention regime of experiment E4",
+            num_objects=24,
+            read_ops=2,
+            write_ops=2,
+            zipf_theta=1.1,
+            mpl=8,
+        ),
+        _make(
+            "read_mostly",
+            "80% read-only transactions over a medium key space (E7-like)",
+            read_ops=4,
+            write_ops=1,
+            readonly_fraction=0.8,
+            readonly_read_ops=6,
+        ),
+        _make(
+            "write_heavy",
+            "update-only, four writes per transaction (E8's steep end)",
+            read_ops=1,
+            write_ops=4,
+        ),
+        _make(
+            "wide_transactions",
+            "large read-modify-write footprints (8 keys each)",
+            num_objects=128,
+            read_ops=8,
+            write_ops=8,
+            mpl=4,
+        ),
+    )
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by name (raises KeyError with suggestions)."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+        ) from None
+
+
+def scenario_names() -> list[str]:
+    return sorted(SCENARIOS)

@@ -1,0 +1,50 @@
+"""Zipfian key sampling for hot-spot workloads.
+
+``theta = 0`` degenerates to uniform; larger theta skews access toward low
+ranks.  Used by the contention experiments (E4): the paper's protocols
+differ most visibly when concurrent transactions touch the same objects.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+
+
+class ZipfSampler:
+    """Samples ranks in ``[0, n)`` with probability proportional to
+    ``1 / (rank + 1) ** theta`` via the precomputed inverse CDF."""
+
+    def __init__(self, n: int, theta: float = 0.0):
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if theta < 0:
+            raise ValueError("theta must be non-negative")
+        self.n = n
+        self.theta = theta
+        self._cdf: list[float] = []
+        total = 0.0
+        for rank in range(n):
+            total += 1.0 / ((rank + 1) ** theta)
+            self._cdf.append(total)
+        self._total = total
+
+    def sample(self, rng: random.Random) -> int:
+        """One rank sample."""
+        point = rng.random() * self._total
+        return bisect.bisect_left(self._cdf, point)
+
+    def sample_distinct(self, rng: random.Random, count: int) -> list[int]:
+        """``count`` distinct ranks (rejection sampling; count <= n)."""
+        if count > self.n:
+            raise ValueError(f"cannot sample {count} distinct from {self.n}")
+        chosen: set[int] = set()
+        # Rejection sampling is fine for count << n; fall back to a shuffle
+        # when the request covers most of the space.
+        if count * 3 >= self.n:
+            ranks = list(range(self.n))
+            rng.shuffle(ranks)
+            return ranks[:count]
+        while len(chosen) < count:
+            chosen.add(self.sample(rng))
+        return sorted(chosen)

@@ -1,0 +1,107 @@
+"""Soak test: sustained load with faults injected mid-flight.
+
+One long scenario per protocol: a closed-loop workload runs continuously
+while a fault schedule crashes a site, partitions the network, heals it
+and recovers the site.  At the end every invariant must hold and the
+system must have made progress through every phase.
+"""
+
+import pytest
+
+from repro.core.cluster import Cluster, ClusterConfig
+from repro.sim.faults import FaultSchedule
+from repro.workload.generator import WorkloadConfig
+from repro.workload.runner import ClosedLoopRunner
+
+
+@pytest.mark.parametrize("protocol", ["rbp", "cbp"])
+def test_soak_with_fault_timeline(protocol):
+    cluster = Cluster(
+        ClusterConfig(
+            protocol=protocol,
+            num_sites=5,
+            num_objects=48,
+            seed=404,
+            enable_failure_detector=True,
+            fd_interval=20.0,
+            fd_timeout=80.0,
+            relay=True,
+            cbp_heartbeat=20.0,
+            max_attempts=60,
+            retry_backoff=8.0,
+            checkpoint_interval=500.0,
+        )
+    )
+    schedule = FaultSchedule(cluster).crash(4, at=800.0).recover(4, at=2500.0)
+    expected_actions = ["crash", "recover"]
+    if protocol == "rbp":
+        # Partition-with-live-traffic is exercised only for RBP: its
+        # reliable layer keeps no ordering state, so a healed partition
+        # needs no flush.  CBP/ABP sequence expectations across a healed
+        # partition require a view-synchronous flush the simulation only
+        # approximates for crash recovery (see DESIGN.md).
+        schedule.partition([[0, 1, 2], [3, 4]], at=4500.0).heal(at=6000.0)
+        expected_actions += ["partition", "heal"]
+    runner = ClosedLoopRunner(
+        cluster,
+        WorkloadConfig(
+            num_objects=48,
+            num_sites=5,
+            read_ops=2,
+            write_ops=2,
+            zipf_theta=0.4,
+            readonly_fraction=0.2,
+        ),
+        mpl=4,
+        transactions=80,
+        think_time=320.0,  # stretch the run across the fault timeline
+    )
+    runner.start()
+    result = cluster.run(
+        max_time=2_000_000.0, stop_when=cluster.await_specs(80)
+    )
+
+    assert result.serialization.ok, result.serialization.explain()
+    assert result.converged
+    # Through crash + partition + heal + recovery the vast majority of the
+    # workload commits (transactions homed at faulty/minority sites during
+    # their windows may exhaust retries).
+    assert result.committed_specs >= 70
+    assert result.metrics.readonly_abort_count() == 0
+    # The schedule really ran every phase.
+    assert [
+        e.action for e in sorted(schedule.log, key=lambda e: e.time)
+    ] == expected_actions
+    # Commits happened after the final fault event: the system recovered.
+    last_fault = max(e.time for e in schedule.log)
+    last_commit = max(o.end_time for o in result.metrics.committed)
+    assert last_commit > last_fault
+    # Checkpoints kept running through the faults on the surviving sites.
+    assert all(r.checkpoints_taken > 0 for r in cluster.replicas if r.alive)
+
+
+def test_soak_open_loop_abp():
+    """ABP under a long open-loop arrival stream (no faults; throughput
+    discipline): everything certifies deterministically."""
+    from repro.workload.runner import OpenLoopRunner
+
+    cluster = Cluster(
+        ClusterConfig(protocol="abp", num_sites=4, num_objects=96, seed=505)
+    )
+    runner = OpenLoopRunner(
+        cluster,
+        WorkloadConfig(
+            num_objects=96, num_sites=4, read_ops=2, write_ops=2, readonly_fraction=0.3
+        ),
+        rate=0.05,
+        count=150,
+    )
+    runner.start()
+    result = cluster.run(max_time=5_000_000.0)
+    assert result.ok
+    assert result.committed_specs + result.failed_specs == 150
+    assert result.failed_specs == 0
+    # Certification decisions were identical at every site.
+    commits = {r.certified_commits for r in cluster.replicas}
+    aborts = {r.certified_aborts for r in cluster.replicas}
+    assert len(commits) == 1 and len(aborts) == 1

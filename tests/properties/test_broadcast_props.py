@@ -1,0 +1,167 @@
+"""Property-based tests for the broadcast stack's ordering guarantees.
+
+Hypothesis generates random broadcast schedules (who sends when, and
+which deliveries trigger reply broadcasts); the tests then verify the
+layer's contract over the *observed* happens-before relation:
+
+- reliable: every correct site delivers every message exactly once;
+- causal: if site s broadcast m2 after delivering m1, every site
+  delivers m1 before m2 (and per-sender FIFO);
+- total: all sites deliver ordered messages in one identical sequence
+  that also respects the causal relation above.
+"""
+
+from dataclasses import dataclass
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from tests.conftest import BroadcastHarness
+
+NUM_SITES = 3
+
+
+@dataclass(frozen=True)
+class Msg:
+    uid: int
+    sender: int
+    kind: str = "msg"
+
+
+schedule_strategy = st.lists(
+    st.tuples(
+        st.integers(0, NUM_SITES - 1),  # sender
+        st.floats(min_value=0.0, max_value=50.0),  # send time
+        st.booleans(),  # triggers a reply from the receiver site (sender+1)
+    ),
+    min_size=1,
+    max_size=15,
+)
+
+SETTINGS = settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def run_schedule(stack, schedule, seed=0):
+    h = BroadcastHarness(num_sites=NUM_SITES, stack=stack, seed=seed)
+    uid_counter = [1000]
+    #: causal_pairs[(a, b)] means message a happened-before message b.
+    causal_pairs = []
+    delivery_log = [[] for _ in range(NUM_SITES)]
+
+    def instrument(site):
+        def deliver(*args):
+            if stack == "causal":
+                message, envelope = args
+                payload = envelope.payload
+            elif stack == "total":
+                payload, envelope, idx = args
+                if idx is None and payload is None:
+                    return
+            else:
+                message = args[0]
+                payload = message.payload
+            delivery_log[site].append(payload.uid)
+            if payload.uid in reply_on.get(site, set()):
+                reply = Msg(uid_counter[0], site)
+                uid_counter[0] += 1
+                causal_pairs.append((payload.uid, reply.uid))
+                broadcast(site, reply)
+
+        return deliver
+
+    sent_order: dict[int, list[int]] = {site: [] for site in range(NUM_SITES)}
+
+    def broadcast(site, payload):
+        sent_order[site].append(payload.uid)
+        h.layers[site].broadcast(payload)
+
+    reply_on: dict[int, set[int]] = {}
+    for site in range(NUM_SITES):
+        h.layers[site].set_deliver(instrument(site))
+
+    for index, (sender, at, wants_reply) in enumerate(schedule):
+        payload = Msg(index, sender)
+        if wants_reply:
+            replier = (sender + 1) % NUM_SITES
+            reply_on.setdefault(replier, set()).add(index)
+        h.engine.schedule_at(max(at, h.engine.now), broadcast, sender, payload)
+
+    h.run(until=10000.0)
+    return delivery_log, causal_pairs, sent_order
+
+
+@SETTINGS
+@given(schedule=schedule_strategy)
+def test_reliable_delivers_everything_exactly_once(schedule):
+    logs, _, _ = run_schedule("reliable", schedule)
+    expected = len(schedule)  # replies only exist in instrumented stacks
+    for log in logs:
+        originals = [uid for uid in log if uid < 1000]
+        assert sorted(originals) == sorted(range(expected))
+        assert len(log) == len(set(log))
+
+
+@SETTINGS
+@given(schedule=schedule_strategy)
+def test_causal_order_respected(schedule):
+    logs, causal_pairs, sent_order = run_schedule("causal", schedule)
+    # Every site delivered everything...
+    sizes = {len(log) for log in logs}
+    assert len(sizes) == 1
+    for log in logs:
+        assert len(log) == len(set(log))
+        # ...with every observed happens-before pair in order.
+        position = {uid: i for i, uid in enumerate(log)}
+        for before, after in causal_pairs:
+            assert position[before] < position[after], (before, after, log)
+    # Per-sender FIFO: each site's delivery order of one sender's
+    # messages matches the order that sender actually broadcast them.
+    for log in logs:
+        for sender in range(NUM_SITES):
+            own = set(sent_order[sender])
+            delivered = [uid for uid in log if uid in own]
+            assert delivered == sent_order[sender]
+
+
+@SETTINGS
+@given(schedule=schedule_strategy)
+def test_total_order_identical_and_causal(schedule):
+    logs, causal_pairs, _ = run_schedule("total", schedule)
+    assert all(log == logs[0] for log in logs)
+    position = {uid: i for i, uid in enumerate(logs[0])}
+    for before, after in causal_pairs:
+        assert position[before] < position[after]
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(schedule=schedule_strategy)
+def test_total_order_survives_lossy_links(schedule):
+    """The ordering guarantee is unchanged when the ARQ transport has to
+    recover from 20% message loss underneath."""
+    logs, causal_pairs, _ = run_schedule("total", schedule, seed=9)
+    lossy_logs, lossy_pairs, _ = run_schedule_lossy("total", schedule)
+    assert all(log == lossy_logs[0] for log in lossy_logs)
+    position = {uid: i for i, uid in enumerate(lossy_logs[0])}
+    for before, after in lossy_pairs:
+        assert position[before] < position[after]
+
+
+def run_schedule_lossy(stack, schedule):
+    import tests.properties.test_broadcast_props as me
+
+    # Same harness with loss enabled; reuse run_schedule's machinery by
+    # temporarily swapping the harness factory parameters.
+    from tests.conftest import BroadcastHarness
+
+    original = me.BroadcastHarness
+
+    def lossy_factory(**kwargs):
+        kwargs["loss_rate"] = 0.2
+        return original(**kwargs)
+
+    me.BroadcastHarness = lossy_factory
+    try:
+        return run_schedule(stack, schedule, seed=9)
+    finally:
+        me.BroadcastHarness = original

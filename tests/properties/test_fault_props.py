@@ -1,0 +1,119 @@
+"""Property-based fault injection: random crash/recovery timings never
+violate the correctness invariants.
+
+Hypothesis picks which site crashes, when, when it recovers, and a small
+workload around the fault window; RBP (the protocol whose fault story is
+fully mechanized, including live traffic through partitions) must keep
+every invariant.  Examples are kept small — each runs a full simulated
+cluster with failure detection.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.cluster import Cluster, ClusterConfig
+from repro.core.transaction import TransactionSpec
+
+NUM_SITES = 4
+
+fault_plan = st.tuples(
+    st.integers(1, NUM_SITES - 1),  # crash victim (spare site 0: coordinator)
+    st.floats(min_value=50.0, max_value=1500.0),  # crash time
+    st.floats(min_value=500.0, max_value=2500.0),  # recovery delay
+)
+
+workload_plan = st.lists(
+    st.tuples(
+        st.integers(0, NUM_SITES - 1),  # home
+        st.integers(0, 11),  # key index
+        st.floats(min_value=0.0, max_value=3000.0),  # submit time
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(fault=fault_plan, workload=workload_plan)
+def test_random_crash_recovery_preserves_invariants(fault, workload):
+    victim, crash_at, recovery_delay = fault
+    cluster = Cluster(
+        ClusterConfig(
+            protocol="rbp",
+            num_sites=NUM_SITES,
+            num_objects=12,
+            seed=3,
+            enable_failure_detector=True,
+            fd_interval=20.0,
+            fd_timeout=80.0,
+            relay=True,
+            max_attempts=30,
+            retry_backoff=10.0,
+        )
+    )
+    cluster.crash_site(victim, at=crash_at)
+    cluster.recover_site(victim, at=crash_at + recovery_delay)
+    for index, (home, key, at) in enumerate(workload):
+        cluster.submit(
+            TransactionSpec.make(
+                f"T{index}", home, read_keys=[f"x{key}"], writes={f"x{key}": index}
+            ),
+            at=at,
+        )
+    result = cluster.run(
+        max_time=300_000.0, stop_when=cluster.await_specs(len(workload))
+    )
+    assert result.serialization.ok, result.serialization.explain()
+    assert result.converged
+    # Transactions homed at live sites when submitted must reach a final
+    # outcome; SITE_FAILURE/NO_QUORUM finals are acceptable for the rest.
+    assert result.incomplete_specs == 0
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    split_point=st.integers(1, NUM_SITES - 1),
+    partition_at=st.floats(min_value=50.0, max_value=800.0),
+    heal_delay=st.floats(min_value=400.0, max_value=1500.0),
+    workload=workload_plan,
+)
+def test_random_partition_heal_preserves_invariants(
+    split_point, partition_at, heal_delay, workload
+):
+    cluster = Cluster(
+        ClusterConfig(
+            protocol="rbp",
+            num_sites=NUM_SITES,
+            num_objects=12,
+            seed=5,
+            enable_failure_detector=True,
+            fd_interval=20.0,
+            fd_timeout=80.0,
+            relay=True,
+            max_attempts=30,
+            retry_backoff=10.0,
+        )
+    )
+    groups = [list(range(split_point)), list(range(split_point, NUM_SITES))]
+    cluster.engine.schedule_at(partition_at, cluster.partition, groups)
+    cluster.engine.schedule_at(partition_at + heal_delay, cluster.heal_partition)
+    for index, (home, key, at) in enumerate(workload):
+        cluster.submit(
+            TransactionSpec.make(
+                f"T{index}", home, read_keys=[f"x{key}"], writes={f"x{key}": index}
+            ),
+            at=at,
+        )
+    result = cluster.run(
+        max_time=300_000.0, stop_when=cluster.await_specs(len(workload))
+    )
+    assert result.serialization.ok, result.serialization.explain()
+    assert result.converged
+    assert result.incomplete_specs == 0

@@ -1,0 +1,140 @@
+"""Property-based tests for the lock manager's invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.db.locks import LockManager, LockMode, compatible
+
+KEYS = ["a", "b", "c"]
+TXS = ["T1", "T2", "T3", "T4"]
+
+
+class Action:
+    pass
+
+
+actions = st.one_of(
+    st.tuples(
+        st.just("try"), st.sampled_from(TXS), st.sampled_from(KEYS),
+        st.sampled_from([LockMode.SHARED, LockMode.EXCLUSIVE]),
+    ),
+    st.tuples(
+        st.just("acquire"), st.sampled_from(TXS), st.sampled_from(KEYS),
+        st.sampled_from([LockMode.SHARED, LockMode.EXCLUSIVE]),
+    ),
+    st.tuples(st.just("release"), st.sampled_from(TXS)),
+)
+
+
+def holders_compatible(lm: LockManager) -> bool:
+    """No two holders of one key may conflict."""
+    for key in KEYS:
+        holders = list(lm.holders_of(key).items())
+        for i, (tx_a, mode_a) in enumerate(holders):
+            for tx_b, mode_b in holders[i + 1:]:
+                if not compatible(mode_a, mode_b):
+                    return False
+    return True
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(actions, max_size=40))
+def test_holders_never_conflict(script):
+    lm = LockManager()
+    queued = set()
+    for action in script:
+        if action[0] == "try":
+            _, tx, key, mode = action
+            lm.try_acquire(tx, key, mode)
+        elif action[0] == "acquire":
+            _, tx, key, mode = action
+            if (tx, key) in queued or lm.holds(tx, key) is not None:
+                continue  # double-queue is a usage error by contract
+            if not lm.acquire(tx, key, mode):
+                queued.add((tx, key))
+        else:
+            _, tx = action
+            lm.release_all(tx)
+            queued = {(t, k) for (t, k) in queued if t != tx}
+        assert holders_compatible(lm)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(actions, max_size=40))
+def test_release_all_leaves_no_residue(script):
+    lm = LockManager()
+    queued = set()
+    for action in script:
+        if action[0] == "try":
+            _, tx, key, mode = action
+            lm.try_acquire(tx, key, mode)
+        elif action[0] == "acquire":
+            _, tx, key, mode = action
+            if (tx, key) in queued or lm.holds(tx, key) is not None:
+                continue
+            if not lm.acquire(tx, key, mode):
+                queued.add((tx, key))
+        else:
+            _, tx = action
+            lm.release_all(tx)
+            queued = {(t, k) for (t, k) in queued if t != tx}
+    for tx in TXS:
+        lm.release_all(tx)
+    for key in KEYS:
+        assert lm.holders_of(key) == {}
+        assert lm.queued(key) == []
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(actions, max_size=40))
+def test_waiters_eventually_granted_when_everyone_releases(script):
+    """Liveness: releasing every holder grants every (non-withdrawn)
+    queued request, FIFO permitting."""
+    lm = LockManager()
+    grants: list = []
+    queued = set()
+    for action in script:
+        if action[0] == "acquire":
+            _, tx, key, mode = action
+            if (tx, key) in queued or lm.holds(tx, key) is not None:
+                continue
+            if not lm.acquire(tx, key, mode, lambda t, k: grants.append((t, k))):
+                queued.add((tx, key))
+        elif action[0] == "try":
+            _, tx, key, mode = action
+            lm.try_acquire(tx, key, mode)
+        else:
+            _, tx = action
+            lm.release_all(tx)
+            queued = {(t, k) for (t, k) in queued if t != tx}
+    # Now drain: repeatedly release everything until quiescent.
+    for _ in range(len(TXS) * 3):
+        for tx in TXS:
+            lm.release_all(tx)
+    for key in KEYS:
+        assert lm.queued(key) == []
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(TXS), st.sampled_from(KEYS)),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_group_requests_are_all_or_nothing(pairs):
+    lm = LockManager()
+    # Pre-hold one key exclusively so some groups must wait.
+    lm.try_acquire("HOLDER", "b", LockMode.EXCLUSIVE)
+    seen = set()
+    for tx, key in pairs:
+        if tx in seen or tx == "HOLDER":
+            continue
+        seen.add(tx)
+        needs = {key: LockMode.SHARED, "b": LockMode.SHARED}
+        granted = lm.acquire_group(tx, needs)
+        held = [k for k in needs if lm.holds(tx, k) is not None]
+        if granted:
+            assert sorted(held) == sorted(needs)
+        else:
+            assert held == []  # no hold-and-wait

@@ -1,0 +1,103 @@
+"""The flagship property: randomly generated concurrent workloads, run
+through each of the paper's protocols, always produce one-copy serializable
+histories and convergent replicas.
+
+This is the executable form of the paper's correctness theorems.  Each
+hypothesis example generates a full workload (shapes, homes, submission
+times) and runs the complete simulated cluster.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.cluster import Cluster, ClusterConfig
+from repro.core.transaction import TransactionSpec
+
+KEYS = [f"x{i}" for i in range(6)]
+
+tx_strategy = st.tuples(
+    st.sets(st.sampled_from(KEYS), max_size=3),  # read keys
+    st.sets(st.sampled_from(KEYS), max_size=2),  # write keys
+    st.integers(min_value=0, max_value=2),  # home site
+    st.floats(min_value=0.0, max_value=30.0),  # submit time
+)
+
+workload_strategy = st.lists(tx_strategy, min_size=1, max_size=10)
+
+COMMON = dict(
+    num_sites=3,
+    num_objects=len(KEYS),
+    seed=5,
+    retry_aborted=True,
+    max_attempts=10,
+    retry_backoff=5.0,
+    # Keep the baseline's presumed-deadlock machinery fast so hypothesis
+    # examples stay cheap.
+    p2p_write_timeout=120.0,
+    p2p_deadlock_interval=5.0,
+)
+
+PROTOCOL_SETTINGS = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def run_workload(protocol, workload, **overrides):
+    cluster = Cluster(ClusterConfig(protocol=protocol, **{**COMMON, **overrides}))
+    for index, (reads, writes, home, at) in enumerate(workload):
+        spec = TransactionSpec.make(
+            f"T{index}",
+            home,
+            read_keys=sorted(reads | writes),
+            writes={key: f"T{index}v" for key in sorted(writes)},
+        )
+        cluster.submit(spec, at=at)
+    return cluster, cluster.run(max_time=1_000_000.0)
+
+
+@pytest.mark.parametrize("protocol", ["rbp", "cbp", "abp", "p2p"])
+@PROTOCOL_SETTINGS
+@given(workload=workload_strategy)
+def test_random_workloads_are_one_copy_serializable(protocol, workload):
+    cluster, result = run_workload(protocol, workload)
+    assert result.serialization.ok, result.serialization.explain()
+    assert result.converged
+    assert result.incomplete_specs == 0
+
+
+@PROTOCOL_SETTINGS
+@given(workload=workload_strategy)
+def test_cbp_per_op_mode_is_one_copy_serializable(workload):
+    cluster, result = run_workload("cbp", workload, cbp_per_op=True)
+    assert result.serialization.ok, result.serialization.explain()
+    assert result.converged
+
+
+@PROTOCOL_SETTINGS
+@given(workload=workload_strategy)
+def test_abp_shipped_variant_is_one_copy_serializable(workload):
+    cluster, result = run_workload("abp", workload, abp_variant="shipped")
+    assert result.serialization.ok, result.serialization.explain()
+    assert result.converged
+
+
+@PROTOCOL_SETTINGS
+@given(workload=workload_strategy)
+def test_abp_locked_variant_is_one_copy_serializable(workload):
+    cluster, result = run_workload("abp", workload, abp_variant="locked")
+    assert result.serialization.ok, result.serialization.explain()
+    assert result.converged
+    assert result.incomplete_specs == 0
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(workload=workload_strategy)
+def test_lossy_network_preserves_1sr(workload):
+    """Message loss (with ARQ recovery underneath) must not break the
+    protocols' correctness, only their latency."""
+    cluster, result = run_workload("rbp", workload, loss_rate=0.1)
+    assert result.serialization.ok, result.serialization.explain()
+    assert result.converged
+    assert result.incomplete_specs == 0

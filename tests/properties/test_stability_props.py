@@ -1,0 +1,81 @@
+"""Property-based tests for matrix-clock stability."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.broadcast.stability import StabilityTracker
+from repro.broadcast.vector_clock import VectorClock
+
+NUM_SITES = 3
+
+observations = st.lists(
+    st.tuples(
+        st.integers(0, NUM_SITES - 1),
+        st.lists(st.integers(0, 40), min_size=NUM_SITES, max_size=NUM_SITES),
+    ),
+    min_size=0,
+    max_size=30,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(observations)
+def test_stable_vector_never_exceeds_any_row(obs):
+    tracker = StabilityTracker(NUM_SITES, site=0)
+    for sender, entries in obs:
+        tracker.observe(sender, VectorClock(entries))
+    stable = tracker.stable_vector()
+    for sender in range(NUM_SITES):
+        assert stable <= tracker.row(sender)
+
+
+@settings(max_examples=200, deadline=None)
+@given(observations)
+def test_stability_is_monotone(obs):
+    tracker = StabilityTracker(NUM_SITES, site=0)
+    previous = tracker.stable_vector()
+    for sender, entries in obs:
+        tracker.observe(sender, VectorClock(entries))
+        current = tracker.stable_vector()
+        assert previous <= current
+        previous = current
+
+
+@settings(max_examples=200, deadline=None)
+@given(observations)
+def test_is_stable_consistent_with_vector(obs):
+    tracker = StabilityTracker(NUM_SITES, site=0)
+    for sender, entries in obs:
+        tracker.observe(sender, VectorClock(entries))
+    stable = tracker.stable_vector()
+    for origin in range(NUM_SITES):
+        assert tracker.is_stable(origin, stable[origin])
+        assert not tracker.is_stable(origin, stable[origin] + 1)
+
+
+@settings(max_examples=100, deadline=None)
+@given(observations, st.sets(st.integers(0, NUM_SITES - 1), min_size=1))
+def test_restrict_to_never_lowers_stability(obs, members_set):
+    members = sorted(members_set | {0})  # site 0 always stays
+    tracker = StabilityTracker(NUM_SITES, site=0)
+    for sender, entries in obs:
+        tracker.observe(sender, VectorClock(entries))
+    before = tracker.stable_vector()
+    tracker.restrict_to(members)
+    assert before <= tracker.stable_vector()
+
+
+@settings(max_examples=100, deadline=None)
+@given(observations)
+def test_listener_fires_exactly_on_advances(obs):
+    tracker = StabilityTracker(NUM_SITES, site=0)
+    advances = []
+    tracker.on_advance(lambda vec: advances.append(list(vec)))
+    previous = list(tracker.stable_vector())
+    expected = 0
+    for sender, entries in obs:
+        tracker.observe(sender, VectorClock(entries))
+        current = list(tracker.stable_vector())
+        if current != previous:
+            expected += 1
+            previous = current
+    assert len(advances) == expected

@@ -1,0 +1,83 @@
+"""Property-based tests for the multiversioned store."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.db.storage import VersionedStore
+
+KEYS = ("a", "b", "c")
+
+operations = st.lists(
+    st.tuples(st.sampled_from(KEYS), st.integers(-1000, 1000)),
+    min_size=0,
+    max_size=30,
+)
+
+
+def build(ops, history_limit=16):
+    store = VersionedStore(history_limit=history_limit)
+    store.initialize(KEYS, value=0)
+    for index, (key, value) in enumerate(ops):
+        store.install(key, value, f"T{index}")
+    return store
+
+
+@settings(max_examples=200, deadline=None)
+@given(operations)
+def test_versions_dense_and_latest_wins(ops):
+    store = build(ops)
+    per_key_writes = {key: [v for k, v in ops if k == key] for key in KEYS}
+    for key in KEYS:
+        latest = store.read(key)
+        assert latest.version == len(per_key_writes[key])
+        expected = per_key_writes[key][-1] if per_key_writes[key] else 0
+        assert latest.value == expected
+
+
+@settings(max_examples=200, deadline=None)
+@given(operations)
+def test_retained_versions_readable_in_order(ops):
+    store = build(ops, history_limit=8)
+    for key in KEYS:
+        latest = store.read(key).version
+        lowest_retained = max(0, latest - 7)
+        values = [
+            store.read_version(key, v).version
+            for v in range(lowest_retained, latest + 1)
+        ]
+        assert values == list(range(lowest_retained, latest + 1))
+
+
+@settings(max_examples=100, deadline=None)
+@given(operations)
+def test_snapshot_roundtrip_preserves_digest(ops):
+    store = build(ops)
+    copy = VersionedStore()
+    copy.load_snapshot(store.export_snapshot())
+    assert copy.digest() == store.digest()
+
+
+@settings(max_examples=100, deadline=None)
+@given(operations, operations)
+def test_clone_then_diverge(ops_a, ops_b):
+    store = build(ops_a)
+    clone = VersionedStore()
+    clone.clone_from(store)
+    assert clone.digest() == store.digest()
+    for index, (key, value) in enumerate(ops_b):
+        clone.install(key, value, f"X{index}")
+    # The original never changes underneath the clone.
+    assert store.digest() == build(ops_a).digest()
+
+
+@settings(max_examples=100, deadline=None)
+@given(operations)
+def test_read_at_or_before_is_floor(ops):
+    store = build(ops, history_limit=64)
+    for key in KEYS:
+        latest = store.read(key).version
+        for probe in range(latest + 2):
+            got = store.read_at_or_before(key, probe).version
+            assert got <= probe
+            assert got <= latest
+            if probe <= latest:
+                assert got == probe

@@ -1,0 +1,79 @@
+"""Property-based tests for vector clocks."""
+
+from hypothesis import given, strategies as st
+
+from repro.broadcast.vector_clock import VectorClock
+
+clock_entries = st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=8)
+
+
+def paired_clocks(size=4):
+    entries = st.integers(min_value=0, max_value=50)
+    return st.tuples(
+        st.lists(entries, min_size=size, max_size=size),
+        st.lists(entries, min_size=size, max_size=size),
+    )
+
+
+@given(clock_entries)
+def test_le_reflexive(entries):
+    vc = VectorClock(entries)
+    assert vc <= vc
+    assert not vc < vc
+
+
+@given(paired_clocks())
+def test_exactly_one_relation_holds(pair):
+    a, b = VectorClock(pair[0]), VectorClock(pair[1])
+    relations = [a < b, b < a, a == b, a.concurrent_with(b)]
+    assert relations.count(True) == 1
+
+
+@given(paired_clocks())
+def test_merge_is_upper_bound(pair):
+    a, b = VectorClock(pair[0]), VectorClock(pair[1])
+    m = a.merge(b)
+    assert a <= m and b <= m
+
+
+@given(paired_clocks())
+def test_merge_commutative(pair):
+    a, b = VectorClock(pair[0]), VectorClock(pair[1])
+    assert a.merge(b) == b.merge(a)
+
+
+@given(paired_clocks(), st.lists(st.integers(0, 50), min_size=4, max_size=4))
+def test_merge_is_least_upper_bound(pair, other):
+    a, b = VectorClock(pair[0]), VectorClock(pair[1])
+    c = VectorClock(other)
+    if a <= c and b <= c:
+        assert a.merge(b) <= c
+
+
+@given(clock_entries, st.data())
+def test_increment_strictly_advances(entries, data):
+    vc = VectorClock(entries)
+    site = data.draw(st.integers(0, len(entries) - 1))
+    assert vc < vc.increment(site)
+
+
+@given(paired_clocks(), st.lists(st.integers(0, 50), min_size=4, max_size=4))
+def test_happens_before_transitive(pair, third):
+    a, b = VectorClock(pair[0]), VectorClock(pair[1])
+    c = VectorClock(third)
+    if a < b and b < c:
+        assert a < c
+
+
+@given(paired_clocks())
+def test_concurrency_symmetric(pair):
+    a, b = VectorClock(pair[0]), VectorClock(pair[1])
+    assert a.concurrent_with(b) == b.concurrent_with(a)
+
+
+@given(clock_entries, st.data())
+def test_dominates_entry_consistent_with_indexing(entries, data):
+    vc = VectorClock(entries)
+    site = data.draw(st.integers(0, len(entries) - 1))
+    value = data.draw(st.integers(0, 60))
+    assert vc.dominates_entry(site, value) == (vc[site] >= value)

@@ -1,0 +1,87 @@
+"""Tests for the post-run cluster auditor."""
+
+import pytest
+
+from repro.analysis.audit import assert_clean, audit_cluster
+from repro.core.cluster import Cluster, ClusterConfig
+from repro.core.transaction import TransactionSpec
+from repro.db.locks import LockMode
+from repro.workload import WorkloadConfig
+from repro.workload.runner import run_standard_mix
+
+
+def run_clean_cluster(protocol, **overrides):
+    cluster = Cluster(
+        ClusterConfig(
+            **{
+                **dict(protocol=protocol, num_sites=3, num_objects=16, seed=61),
+                **overrides,
+            }
+        )
+    )
+    result = run_standard_mix(
+        cluster,
+        WorkloadConfig(num_objects=16, num_sites=3, read_ops=2, write_ops=2),
+        transactions=20,
+        mpl=4,
+    )
+    assert result.ok
+    cluster.run_for(200.0)  # drain in-flight cleanup traffic
+    return cluster
+
+
+@pytest.mark.parametrize("protocol", ["rbp", "cbp", "abp", "p2p"])
+def test_clean_run_audits_clean(protocol):
+    cluster = run_clean_cluster(protocol)
+    findings = audit_cluster(cluster)
+    assert findings == [], "\n".join(map(str, findings))
+    assert_clean(cluster)  # no raise
+
+
+def test_audit_detects_lock_leak():
+    cluster = run_clean_cluster("rbp")
+    cluster.replicas[1].locks.try_acquire("ghost", "x0", LockMode.EXCLUSIVE)
+    findings = audit_cluster(cluster)
+    assert any(f.category == "lock-leak" for f in findings)
+    with pytest.raises(AssertionError, match="lock-leak"):
+        assert_clean(cluster)
+
+
+def test_audit_detects_protocol_leak():
+    cluster = run_clean_cluster("rbp")
+    cluster.replicas[0]._buffered["ghost#1"] = {"x0": 1}
+    findings = audit_cluster(cluster)
+    assert any(f.category == "protocol-leak" for f in findings)
+
+
+def test_audit_detects_wal_mismatch():
+    cluster = run_clean_cluster("rbp")
+    replica = cluster.replicas[2]
+    replica.store.install("x0", "phantom", "ghost")  # store diverges from WAL
+    findings = audit_cluster(cluster)
+    assert any(f.category in ("wal-mismatch", "convergence") for f in findings)
+
+
+def test_audit_detects_divergence():
+    cluster = run_clean_cluster("abp")
+    cluster.replicas[0].store.install("x1", "rogue", "ghost")
+    findings = audit_cluster(cluster, strict_wal=False)
+    assert any(f.category == "convergence" for f in findings)
+
+
+def test_audit_flags_nonterminal_locals():
+    from repro.core.transaction import Transaction
+
+    cluster = run_clean_cluster("cbp")
+    spec = TransactionSpec.make("zombie", 0, writes={"x0": 1})
+    cluster.replicas[0].local["zombie#1"] = Transaction(spec, 1, 0.0, 0.0)
+    findings = audit_cluster(cluster)
+    assert any("zombie" in f.detail for f in findings)
+
+
+def test_findings_render_readably():
+    cluster = run_clean_cluster("rbp")
+    cluster.replicas[1].locks.try_acquire("ghost", "x0", LockMode.EXCLUSIVE)
+    finding = audit_cluster(cluster)[0]
+    assert "site 1" in str(finding)
+    assert "x0" in str(finding)

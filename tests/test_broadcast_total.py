@@ -1,0 +1,119 @@
+"""Unit tests for atomic (total-order) broadcast, both orderers."""
+
+from dataclasses import dataclass
+
+import pytest
+
+
+@dataclass
+class Op:
+    label: str
+    kind: str = "op"
+
+
+@pytest.mark.parametrize("mode", ["sequencer", "token"])
+def test_all_sites_deliver_same_total_order(harness_factory, mode):
+    h = harness_factory(num_sites=4, stack="total", mode=mode)
+    for n in range(5):
+        for site in range(4):
+            h.layers[site].broadcast(Op(f"s{site}n{n}"))
+    h.run(until=5000.0)
+    orders = [[p.label for p, idx in h.delivered[site] if idx is not None] for site in range(4)]
+    assert len(orders[0]) == 20
+    assert all(order == orders[0] for order in orders)
+
+
+@pytest.mark.parametrize("mode", ["sequencer", "token"])
+def test_order_indexes_are_contiguous(harness_factory, mode):
+    h = harness_factory(num_sites=3, stack="total", mode=mode)
+    for n in range(7):
+        h.layers[n % 3].broadcast(Op(f"m{n}"))
+    h.run(until=5000.0)
+    for site in range(3):
+        indexes = [idx for _, idx in h.delivered[site] if idx is not None]
+        assert indexes == list(range(7))
+
+
+def test_total_order_respects_causality(harness_factory):
+    """If m1 causally precedes m2 the total order must place m1 first."""
+    h = harness_factory(num_sites=3, stack="total")
+    sink = h.delivered[1]
+
+    def reply(payload, envelope, idx):
+        sink.append((payload, idx))
+        if payload.label == "first":
+            h.layers[1].broadcast(Op("second"))
+
+    h.layers[1].set_deliver(reply)
+    h.layers[0].broadcast(Op("first"))
+    h.run(until=5000.0)
+    for site in (0, 2):
+        labels = [p.label for p, idx in h.delivered[site] if idx is not None]
+        assert labels.index("first") < labels.index("second")
+
+
+def test_causal_only_messages_bypass_ordering(harness_factory):
+    h = harness_factory(num_sites=3, stack="total")
+    h.layers[0].broadcast_causal(Op("causal"))
+    h.layers[0].broadcast(Op("ordered"))
+    h.run(until=5000.0)
+    for site in range(3):
+        by_label = {p.label: idx for p, idx in h.delivered[site]}
+        assert by_label["causal"] is None
+        assert by_label["ordered"] == 0
+
+
+def test_causal_writes_precede_their_ordered_commit(harness_factory):
+    """The ABP-B requirement: a site always has a transaction's causally
+    broadcast writes before its atomically broadcast commit request."""
+    h = harness_factory(num_sites=4, stack="total")
+    for t in range(5):
+        h.layers[t % 4].broadcast_causal(Op(f"w{t}"))
+        h.layers[t % 4].broadcast(Op(f"c{t}"))
+    h.run(until=5000.0)
+    for site in range(4):
+        labels = [p.label for p, _ in h.delivered[site]]
+        for t in range(5):
+            assert labels.index(f"w{t}") < labels.index(f"c{t}")
+
+
+def test_sequencer_is_lowest_site(harness_factory):
+    h = harness_factory(num_sites=3, stack="total")
+    assert h.layers[0].is_sequencer
+    assert not h.layers[1].is_sequencer
+
+
+def test_sequencer_reelection_on_group_change(harness_factory):
+    h = harness_factory(num_sites=3, stack="total")
+    h.layers[1].set_group([1, 2])
+    assert h.layers[1].is_sequencer
+
+
+def test_token_mode_uses_token_messages(harness_factory):
+    h = harness_factory(num_sites=3, stack="total", mode="token")
+    h.layers[1].broadcast(Op("x"))
+    h.run(until=100.0)
+    assert h.network.stats.by_kind["abcast.token"] > 0
+
+
+def test_sequencer_emits_order_assignments(harness_factory):
+    h = harness_factory(num_sites=3, stack="total", mode="sequencer")
+    h.layers[1].broadcast(Op("x"))
+    h.run(until=100.0)
+    assert h.network.stats.by_kind["abcast.order"] > 0
+
+
+def test_invalid_mode_rejected():
+    from repro.broadcast.causal import CausalBroadcast
+    from repro.broadcast.total import TotalOrderBroadcast
+
+    with pytest.raises(ValueError):
+        TotalOrderBroadcast(None, _FakeCausal(), mode="quantum")
+
+
+class _FakeCausal:
+    site = 0
+    num_sites = 1
+
+    def set_deliver(self, fn):
+        pass

@@ -1,0 +1,77 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis.charts import AsciiChart, chart_sweep
+from repro.analysis.experiment import ExperimentSweep
+
+
+def test_basic_render_contains_series_points():
+    chart = AsciiChart(title="demo", width=20, height=6)
+    chart.add_series("up", [0, 1, 2], [1.0, 2.0, 3.0])
+    art = chart.render()
+    assert "demo" in art
+    assert "o=up" in art
+    assert art.count("o") >= 3 + 1  # three points + legend glyph
+
+
+def test_multiple_series_get_distinct_glyphs():
+    chart = AsciiChart(width=20, height=6)
+    chart.add_series("a", [0, 1], [1, 2])
+    chart.add_series("b", [0, 1], [2, 1])
+    art = chart.render()
+    assert "o=a" in art and "x=b" in art
+
+
+def test_axis_labels_show_extremes():
+    chart = AsciiChart(width=24, height=5)
+    chart.add_series("s", [2, 10], [5.0, 50.0])
+    art = chart.render()
+    assert "50" in art and "5" in art  # y extremes
+    assert "2" in art and "10" in art  # x extremes
+
+
+def test_log_scale_compresses_magnitudes():
+    linear = AsciiChart(width=30, height=9)
+    linear.add_series("s", [0, 1, 2], [1.0, 10.0, 1000.0])
+    logged = AsciiChart(width=30, height=9, log_y=True)
+    logged.add_series("s", [0, 1, 2], [1.0, 10.0, 1000.0])
+
+    def row_of(art, glyph="o"):
+        rows = [i for i, line in enumerate(art.splitlines()) if glyph in line]
+        return rows
+
+    # In the linear chart the two small values collapse to the bottom row;
+    # in the log chart they occupy distinct rows.
+    linear_rows = row_of(linear.render())
+    logged_rows = row_of(logged.render())
+    assert len(set(logged_rows)) >= len(set(linear_rows))
+
+
+def test_flat_series_renders():
+    chart = AsciiChart(width=10, height=4)
+    chart.add_series("flat", [0, 1, 2], [7.0, 7.0, 7.0])
+    assert "7" in chart.render()
+
+
+def test_validation():
+    chart = AsciiChart()
+    with pytest.raises(ValueError):
+        chart.add_series("bad", [1, 2], [1.0])
+    with pytest.raises(ValueError):
+        chart.add_series("empty", [], [])
+    assert AsciiChart().render() == "(empty chart)"
+
+
+def test_chart_sweep_integration():
+    sweep = ExperimentSweep(
+        name="demo",
+        scenario=lambda protocol, parameter, seed: {
+            "m": parameter * (1 if protocol == "a" else 2)
+        },
+        parameters=(1, 2, 4),
+        protocols=("a", "b"),
+    ).run()
+    art = chart_sweep(sweep, "m", width=24, height=6)
+    assert "demo: m" in art
+    assert "o=a" in art and "x=b" in art

@@ -1,0 +1,139 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_run_single_protocol(capsys):
+    code, out = run_cli(
+        capsys, "run", "rbp", "--transactions", "6", "--mpl", "2", "--sites", "3"
+    )
+    assert code == 0
+    assert "rbp" in out
+    assert "1SR OK" in out
+    assert "commits" in out
+
+
+def test_run_reports_message_count(capsys):
+    code, out = run_cli(
+        capsys, "run", "abp", "--transactions", "4", "--mpl", "1", "--sites", "3"
+    )
+    assert code == 0
+    lines = [l for l in out.splitlines() if l.strip().startswith("abp")]
+    assert lines, out
+
+
+def test_compare_lists_all_protocols(capsys):
+    code, out = run_cli(
+        capsys, "compare", "--transactions", "5", "--mpl", "2", "--sites", "3"
+    )
+    assert code == 0
+    for protocol in ("rbp", "cbp", "abp", "p2p"):
+        assert protocol in out
+
+
+def test_sweep_axis(capsys):
+    code, out = run_cli(
+        capsys,
+        "sweep",
+        "mpl",
+        "--values",
+        "1,2",
+        "--protocols",
+        "abp",
+        "--transactions",
+        "4",
+        "--sites",
+        "3",
+    )
+    assert code == 0
+    assert "sweep mpl" in out
+    assert "p50 latency (ms)" in out
+
+
+def test_sweep_rejects_unknown_protocol():
+    with pytest.raises(SystemExit):
+        main(["sweep", "mpl", "--protocols", "teleport"])
+
+
+def test_parser_rejects_unknown_protocol():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "warp"])
+
+
+def test_parser_requires_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_deterministic_output(capsys):
+    _, first = run_cli(
+        capsys, "run", "cbp", "--transactions", "5", "--mpl", "2", "--seed", "9"
+    )
+    _, second = run_cli(
+        capsys, "run", "cbp", "--transactions", "5", "--mpl", "2", "--seed", "9"
+    )
+    assert first == second
+
+
+def test_module_entry_point():
+    import subprocess
+    import sys
+
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "run", "abp", "--transactions", "3", "--mpl", "1"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "1SR OK" in proc.stdout
+
+
+def test_run_timeline_flag(capsys):
+    code, out = run_cli(
+        capsys,
+        "run", "rbp", "--transactions", "3", "--mpl", "1", "--sites", "3",
+        "--timeline",
+    )
+    assert code == 0
+    assert "committed @" in out  # the gantt suffix
+
+
+def test_run_sequence_flag(capsys):
+    code, out = run_cli(
+        capsys,
+        "run", "rbp", "--transactions", "2", "--mpl", "1", "--sites", "3",
+        "--sequence", "6",
+    )
+    assert code == 0
+    assert "rbp.write" in out
+    assert "──" in out  # the arrow art
+
+
+def test_sweep_chart_flag(capsys):
+    code, out = run_cli(
+        capsys,
+        "sweep", "mpl", "--values", "1,2", "--protocols", "abp",
+        "--transactions", "4", "--sites", "3", "--chart",
+    )
+    assert code == 0
+    assert "o=abp" in out
+    assert "+----" in out  # the x axis
+
+
+def test_anatomy_subcommand(capsys):
+    code, out = run_cli(capsys, "anatomy", "abp", "--sites", "3")
+    assert code == 0
+    assert "wire sequence" in out
+    assert "abp.commit_request" in out
+    assert "lifecycle timeline" in out

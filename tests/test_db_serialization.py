@@ -1,0 +1,113 @@
+"""Unit tests for the one-copy serialization graph checker."""
+
+import pytest
+
+from repro.db.serialization import HistoryRecorder, replicas_converged
+from repro.db.storage import VersionedStore
+
+
+def test_empty_history_is_serializable():
+    recorder = HistoryRecorder()
+    result = recorder.check()
+    assert result.ok
+    assert result.num_transactions == 0
+
+
+def test_simple_chain_is_serializable():
+    recorder = HistoryRecorder()
+    recorder.record_commit("T1", 0, reads={"x": 0}, writes={"x": 1}, commit_time=1.0)
+    recorder.record_commit("T2", 1, reads={"x": 1}, writes={"x": 2}, commit_time=2.0)
+    result = recorder.check()
+    assert result.ok
+    assert recorder.serial_order() == ["T1", "T2"]
+
+
+def test_rw_cycle_detected():
+    """The classic write-skew cycle: T1 reads x writes y, T2 reads y
+    writes x, both reading the initial versions."""
+    recorder = HistoryRecorder()
+    recorder.record_commit("T1", 0, reads={"x": 0}, writes={"y": 1}, commit_time=1.0)
+    recorder.record_commit("T2", 1, reads={"y": 0}, writes={"x": 1}, commit_time=1.0)
+    result = recorder.check()
+    assert not result.acyclic
+    assert set(result.cycle) == {"T1", "T2"}
+    assert recorder.serial_order() is None
+
+
+def test_lost_update_cycle_detected():
+    """Both transactions read version 0 and write versions 1 and 2: the
+    second writer overwrote a value it never saw."""
+    recorder = HistoryRecorder()
+    recorder.record_commit("T1", 0, reads={"x": 0}, writes={"x": 1}, commit_time=1.0)
+    recorder.record_commit("T2", 1, reads={"x": 0}, writes={"x": 2}, commit_time=2.0)
+    result = recorder.check()
+    assert not result.acyclic  # T2 -> T1 (rw) and T1 -> T2 (ww)
+
+
+def test_duplicate_version_writers_flagged():
+    recorder = HistoryRecorder()
+    recorder.record_commit("T1", 0, reads={}, writes={"x": 1}, commit_time=1.0)
+    recorder.record_commit("T2", 1, reads={}, writes={"x": 1}, commit_time=2.0)
+    result = recorder.check()
+    assert not result.ok
+    assert any("written by both" in c for c in result.version_conflicts)
+
+
+def test_version_gap_flagged():
+    recorder = HistoryRecorder()
+    recorder.record_commit("T1", 0, reads={}, writes={"x": 3}, commit_time=1.0)
+    result = recorder.check()
+    assert any("has no recorded writer" in c for c in result.version_conflicts)
+
+
+def test_read_of_phantom_version_flagged():
+    recorder = HistoryRecorder()
+    recorder.record_commit("T1", 0, reads={"x": 5}, writes={}, commit_time=1.0)
+    result = recorder.check()
+    assert any("no committed transaction wrote" in c for c in result.version_conflicts)
+
+
+def test_double_record_rejected():
+    recorder = HistoryRecorder()
+    recorder.record_commit("T1", 0, reads={}, writes={"x": 1}, commit_time=1.0)
+    with pytest.raises(ValueError):
+        recorder.record_commit("T1", 0, reads={}, writes={"y": 1}, commit_time=2.0)
+
+
+def test_read_only_transactions_serialize():
+    recorder = HistoryRecorder()
+    recorder.record_commit("W1", 0, reads={}, writes={"x": 1}, commit_time=1.0)
+    recorder.record_commit("R1", 1, reads={"x": 0}, writes={}, commit_time=1.5)
+    recorder.record_commit("R2", 2, reads={"x": 1}, writes={}, commit_time=2.0)
+    result = recorder.check()
+    assert result.ok
+    order = recorder.serial_order()
+    assert order.index("R1") < order.index("W1") < order.index("R2")
+
+
+def test_blind_writes_serializable():
+    recorder = HistoryRecorder()
+    recorder.record_commit("T1", 0, reads={}, writes={"x": 1}, commit_time=1.0)
+    recorder.record_commit("T2", 1, reads={}, writes={"x": 2}, commit_time=2.0)
+    assert recorder.check().ok
+
+
+def test_explain_mentions_cycle():
+    recorder = HistoryRecorder()
+    recorder.record_commit("T1", 0, reads={"x": 0}, writes={"y": 1}, commit_time=1.0)
+    recorder.record_commit("T2", 1, reads={"y": 0}, writes={"x": 1}, commit_time=1.0)
+    text = recorder.check().explain()
+    assert "VIOLATION" in text and "cycle" in text
+
+
+def test_replicas_converged():
+    a, b = VersionedStore(), VersionedStore()
+    for s in (a, b):
+        s.initialize(["x"])
+    assert replicas_converged([a, b])
+    a.install("x", 1, "T1")
+    assert not replicas_converged([a, b])
+    b.install("x", 1, "T1")
+    assert replicas_converged([a, b])
+    assert replicas_converged([])
+    assert replicas_converged([a])

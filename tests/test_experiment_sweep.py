@@ -1,0 +1,75 @@
+"""Tests for the experiment sweep helper."""
+
+import pytest
+
+from repro.analysis.experiment import ExperimentSweep, cross_product
+
+
+def scenario(protocol, parameter, seed):
+    return {
+        "metric_a": float(parameter) * (1 if protocol == "p1" else 2) + seed,
+        "metric_b": 100.0 - parameter,
+    }
+
+
+def make_sweep(**overrides):
+    defaults = dict(
+        name="demo",
+        scenario=scenario,
+        parameters=(1, 2, 4),
+        protocols=("p1", "p2"),
+        seeds=(0,),
+    )
+    defaults.update(overrides)
+    return ExperimentSweep(**defaults)
+
+
+def test_run_collects_all_points():
+    sweep = make_sweep().run()
+    assert len(sweep.points) == 6
+    assert sweep.value(2, "p2", "metric_a") == 4.0
+
+
+def test_series_follows_parameter_axis():
+    sweep = make_sweep().run()
+    assert sweep.series("p1", "metric_a") == [1.0, 2.0, 4.0]
+    assert sweep.series("p2", "metric_a") == [2.0, 4.0, 8.0]
+
+
+def test_seed_replication_averages():
+    sweep = make_sweep(seeds=(0, 10)).run()
+    assert sweep.value(1, "p1", "metric_a") == pytest.approx(6.0)  # (1 + 11)/2
+
+
+def test_table_rendering():
+    sweep = make_sweep().run()
+    text = sweep.table("metric_a", parameter_label="x").render()
+    assert "demo: metric_a" in text
+    assert "p1" in text and "p2" in text
+    assert "4.00" in text
+
+
+def test_render_all_covers_every_metric():
+    sweep = make_sweep().run()
+    text = sweep.render_all()
+    assert "metric_a" in text and "metric_b" in text
+
+
+def test_unknown_lookup_raises():
+    sweep = make_sweep().run()
+    with pytest.raises(KeyError):
+        sweep.value(99, "p1", "metric_a")
+
+
+def test_progress_callback():
+    lines = []
+    make_sweep().run(progress=lines.append)
+    assert len(lines) == 6
+    assert any("p2 @ 4" in line for line in lines)
+
+
+def test_cross_product():
+    combos = cross_product(a=(1, 2), b=("x", "y"))
+    assert len(combos) == 4
+    assert {"a": 1, "b": "y"} in combos
+    assert cross_product() == [{}]

@@ -1,0 +1,95 @@
+"""Unit tests for the heartbeat failure detector."""
+
+import pytest
+
+from repro.broadcast.failure_detector import FailureDetector
+from repro.net.network import Network
+from repro.net.router import ChannelRouter
+from repro.net.transport import ReliableTransport
+from repro.sim.engine import SimulationEngine
+
+
+def build(num_sites=3, interval=10.0, timeout=35.0):
+    engine = SimulationEngine()
+    network = Network(engine, num_sites)
+    detectors = []
+    for site in range(num_sites):
+        transport = ReliableTransport(engine, network, site)
+        router = ChannelRouter(transport)
+        detectors.append(
+            FailureDetector(engine, router, site, num_sites, interval=interval, timeout=timeout)
+        )
+    return engine, network, detectors
+
+
+def test_no_suspicions_in_healthy_run():
+    engine, network, detectors = build()
+    engine.run(until=500.0)
+    assert all(not d.suspected for d in detectors)
+
+
+def test_crashed_site_becomes_suspected():
+    engine, network, detectors = build()
+    engine.schedule(100.0, network.set_site_up, 1, False)
+    engine.schedule(100.0, detectors[1].crash)
+    engine.run(until=300.0)
+    assert 1 in detectors[0].suspected
+    assert 1 in detectors[2].suspected
+
+
+def test_suspicion_change_callback_fires():
+    engine, network, detectors = build()
+    changes = []
+    detectors[0].on_change = changes.append
+    engine.schedule(50.0, network.set_site_up, 2, False)
+    engine.schedule(50.0, detectors[2].crash)
+    engine.run(until=300.0)
+    assert changes and changes[-1] == {2}
+
+
+def test_recovered_site_unsuspected():
+    engine, network, detectors = build()
+    engine.schedule(50.0, network.set_site_up, 1, False)
+    engine.schedule(50.0, detectors[1].crash)
+    engine.schedule(200.0, network.set_site_up, 1, True)
+    engine.schedule(200.0, detectors[1].recover)
+    engine.run(until=500.0)
+    assert 1 not in detectors[0].suspected
+
+
+def test_partitioned_peer_suspected_then_cleared_on_heal():
+    engine, network, detectors = build()
+    engine.schedule(50.0, network.partitions.split, [[0], [1, 2]])
+    engine.run(until=300.0)
+    assert detectors[0].suspected == {1, 2}
+    assert detectors[1].suspected == {0}
+    network.partitions.heal()
+    engine.run(until=600.0)
+    assert not detectors[0].suspected
+
+
+def test_timeout_must_exceed_interval():
+    engine = SimulationEngine()
+    network = Network(engine, 2)
+    transport = ReliableTransport(engine, network, 0)
+    router = ChannelRouter(transport)
+    with pytest.raises(ValueError):
+        FailureDetector(engine, router, 0, 2, interval=50.0, timeout=40.0)
+
+
+def test_disabled_detector_sends_nothing_until_started():
+    engine = SimulationEngine()
+    network = Network(engine, 2)
+    detectors = []
+    for site in range(2):
+        transport = ReliableTransport(engine, network, site)
+        router = ChannelRouter(transport)
+        detectors.append(
+            FailureDetector(engine, router, site, 2, interval=10.0, timeout=35.0, enabled=False)
+        )
+    engine.run(until=100.0)
+    assert network.stats.by_kind.get("fd.heartbeat", 0) == 0
+    detectors[0].start()
+    detectors[1].start()
+    engine.run(until=200.0)
+    assert network.stats.by_kind["fd.heartbeat"] > 0

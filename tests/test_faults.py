@@ -1,0 +1,89 @@
+"""Tests for the declarative fault scheduler."""
+
+import pytest
+
+from repro.core.cluster import Cluster, ClusterConfig
+from repro.core.transaction import AbortReason, TransactionSpec
+from repro.sim.faults import FaultSchedule
+
+
+def fault_cluster(**overrides):
+    defaults = dict(
+        protocol="rbp",
+        num_sites=5,
+        num_objects=16,
+        seed=29,
+        enable_failure_detector=True,
+        fd_interval=20.0,
+        fd_timeout=80.0,
+        relay=True,
+    )
+    defaults.update(overrides)
+    return Cluster(ClusterConfig(**defaults))
+
+
+def spec(name, home, key, value=None):
+    if value is None:
+        return TransactionSpec.make(name, home, read_keys=[key])
+    return TransactionSpec.make(name, home, read_keys=[key], writes={key: value})
+
+
+def test_crash_and_recover_schedule():
+    cluster = fault_cluster()
+    schedule = FaultSchedule(cluster).crash(4, at=100.0).recover(4, at=2000.0)
+    cluster.submit(spec("during", 0, "x0", 1), at=500.0)
+    cluster.submit(spec("after", 4, "x1", 2), at=4500.0)
+    result = cluster.run(max_time=100000, stop_when=cluster.await_specs(2))
+    assert result.ok
+    assert result.committed_specs == 2
+    assert [e.action for e in sorted(schedule.log, key=lambda e: e.time)] == [
+        "crash",
+        "recover",
+    ]
+
+
+def test_partition_heal_schedule():
+    cluster = fault_cluster(retry_aborted=False)
+    schedule = (
+        FaultSchedule(cluster)
+        .partition([[0, 1, 2], [3, 4]], at=50.0)
+        .heal(at=3000.0)
+    )
+    cluster.submit(spec("minority", 3, "x0", 1), at=800.0)
+    cluster.submit(spec("late", 3, "x1", 2), at=5000.0)
+    result = cluster.run(max_time=100000, stop_when=cluster.await_specs(2))
+    assert cluster.spec_status("minority").last_outcome is AbortReason.NO_QUORUM
+    assert cluster.spec_status("late").committed
+    assert len(schedule.events("partition")) == 1
+    assert len(schedule.events("heal")) == 1
+
+
+def test_flaky_links_require_arq():
+    cluster = fault_cluster(loss_rate=0.0, enable_failure_detector=False)
+    with pytest.raises(ValueError):
+        FaultSchedule(cluster).flaky_links(0.3, at=10.0)
+
+
+def test_flaky_links_window():
+    cluster = fault_cluster(
+        loss_rate=0.01, enable_failure_detector=False, protocol="rbp"
+    )
+    FaultSchedule(cluster).flaky_links(0.4, at=0.0, until=2000.0)
+    for n in range(5):
+        cluster.submit(spec(f"t{n}", n % 5, f"x{n}", n), at=100.0 + n * 100.0)
+    result = cluster.run(max_time=500000)
+    assert result.ok
+    assert result.committed_specs == 5
+    if cluster.engine.now < 2000.0:
+        cluster.run_for(2500.0)  # let the restore event fire
+    assert cluster.network.loss_rate == 0.01  # restored
+    assert cluster.network.stats.dropped_loss > 0
+
+
+def test_describe_renders_timeline():
+    cluster = fault_cluster()
+    schedule = FaultSchedule(cluster).crash(1, at=5.0).heal(at=10.0)
+    cluster.run_for(20.0)
+    text = schedule.describe()
+    assert "crash" in text and "heal" in text
+    assert text.index("crash") < text.index("heal")

@@ -1,0 +1,106 @@
+"""Membership under cascading and repeated failures."""
+
+from repro.broadcast.failure_detector import FailureDetector
+from repro.broadcast.membership import MembershipService
+from repro.net.network import Network
+from repro.net.router import ChannelRouter
+from repro.net.transport import ReliableTransport
+from repro.sim.engine import SimulationEngine
+
+
+def build(num_sites=7, interval=10.0, timeout=35.0):
+    engine = SimulationEngine()
+    network = Network(engine, num_sites)
+    detectors, services = [], []
+    for site in range(num_sites):
+        transport = ReliableTransport(engine, network, site)
+        router = ChannelRouter(transport)
+        detector = FailureDetector(
+            engine, router, site, num_sites, interval=interval, timeout=timeout
+        )
+        services.append(MembershipService(engine, router, detector, site, num_sites))
+        detectors.append(detector)
+    return engine, network, detectors, services
+
+
+def crash(engine, network, detectors, services, site, at):
+    engine.schedule_at(at, network.set_site_up, site, False)
+    engine.schedule_at(at, detectors[site].crash)
+    engine.schedule_at(at, services[site].crash)
+
+
+def recover(engine, network, detectors, services, site, at):
+    engine.schedule_at(at, network.set_site_up, site, True)
+    engine.schedule_at(at, detectors[site].recover)
+    engine.schedule_at(at, services[site].recover)
+
+
+def live_views(services):
+    return {tuple(s.view.members) for s in services if s.alive}
+
+
+def test_cascading_coordinator_crashes():
+    """Sites 0, 1, 2 crash in sequence; leadership walks down the id
+    order and the survivors converge on one view each time."""
+    engine, network, detectors, services = build()
+    for site, at in ((0, 100.0), (1, 400.0), (2, 700.0)):
+        crash(engine, network, detectors, services, site, at)
+    engine.run(until=1500.0)
+    assert live_views(services) == {(3, 4, 5, 6)}
+    assert services[3].i_am_coordinator()
+    assert all(s.in_primary_component for s in services if s.alive)
+
+
+def test_simultaneous_double_crash():
+    engine, network, detectors, services = build()
+    crash(engine, network, detectors, services, 2, 100.0)
+    crash(engine, network, detectors, services, 5, 100.0)
+    engine.run(until=800.0)
+    assert live_views(services) == {(0, 1, 3, 4, 6)}
+
+
+def test_crash_below_quorum_blocks_primary():
+    """With 4 of 7 sites down, no view can hold a majority of all sites."""
+    engine, network, detectors, services = build()
+    for site, at in ((3, 50.0), (4, 50.0), (5, 50.0), (6, 50.0)):
+        crash(engine, network, detectors, services, site, at)
+    engine.run(until=800.0)
+    for service in services[:3]:
+        assert not service.in_primary_component
+
+
+def test_mass_recovery_restores_full_view():
+    engine, network, detectors, services = build()
+    for site in (4, 5, 6):
+        crash(engine, network, detectors, services, site, 50.0)
+    for site in (4, 5, 6):
+        recover(engine, network, detectors, services, site, 1000.0 + site * 100.0)
+    engine.run(until=4000.0)
+    assert live_views(services) == {tuple(range(7))}
+    assert all(s.in_primary_component for s in services)
+
+
+def test_flapping_site_reconverges():
+    """A site that crashes and recovers repeatedly ends in the view."""
+    engine, network, detectors, services = build(num_sites=5)
+    for round_ in range(3):
+        base = 100.0 + round_ * 800.0
+        crash(engine, network, detectors, services, 4, base)
+        recover(engine, network, detectors, services, 4, base + 400.0)
+    engine.run(until=5000.0)
+    assert live_views(services) == {(0, 1, 2, 3, 4)}
+
+
+def test_view_ids_monotone_per_site():
+    engine, network, detectors, services = build(num_sites=5)
+    observed = {site: [] for site in range(5)}
+    for site in range(5):
+        services[site].add_listener(
+            lambda view, joined, site=site: observed[site].append(view.view_id)
+        )
+    crash(engine, network, detectors, services, 3, 100.0)
+    recover(engine, network, detectors, services, 3, 800.0)
+    crash(engine, network, detectors, services, 4, 1600.0)
+    engine.run(until=4000.0)
+    for site, ids in observed.items():
+        assert ids == sorted(ids), (site, ids)

@@ -1,0 +1,127 @@
+"""Unit tests for the datagram network: FIFO, loss, partitions, crashes."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.net.latency import FixedLatency, UniformLatency
+from repro.net.network import Network
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import RngRegistry
+
+
+@dataclass
+class Ping:
+    n: int
+    kind: str = "ping"
+
+
+def build(num_sites=3, **kwargs):
+    engine = SimulationEngine()
+    network = Network(engine, num_sites, rng=RngRegistry(5), **kwargs)
+    inboxes = [[] for _ in range(num_sites)]
+    for site in range(num_sites):
+        network.attach(site, lambda d, site=site: inboxes[site].append(d))
+    return engine, network, inboxes
+
+
+def test_basic_delivery_with_latency():
+    engine, network, inboxes = build(latency=FixedLatency(2.0))
+    network.send(0, 1, Ping(1))
+    engine.run()
+    assert [d.payload.n for d in inboxes[1]] == [1]
+    assert inboxes[1][0].deliver_time == 2.0
+
+
+def test_fifo_per_link_despite_latency_jitter():
+    engine, network, inboxes = build(latency=UniformLatency(0.1, 5.0))
+    for n in range(50):
+        network.send(0, 1, Ping(n))
+    engine.run()
+    assert [d.payload.n for d in inboxes[1]] == list(range(50))
+
+
+def test_loopback_is_delivered():
+    engine, network, inboxes = build()
+    network.send(2, 2, Ping(7))
+    engine.run()
+    assert [d.payload.n for d in inboxes[2]] == [7]
+
+
+def test_messages_to_crashed_site_dropped():
+    engine, network, inboxes = build()
+    network.set_site_up(1, False)
+    network.send(0, 1, Ping(1))
+    engine.run()
+    assert inboxes[1] == []
+    assert network.stats.dropped_crashed == 1
+
+
+def test_crashed_sender_cannot_send():
+    engine, network, inboxes = build()
+    network.set_site_up(0, False)
+    network.send(0, 1, Ping(1))
+    engine.run()
+    assert inboxes[1] == []
+
+
+def test_crash_while_in_flight_drops():
+    engine, network, inboxes = build(latency=FixedLatency(5.0))
+    network.send(0, 1, Ping(1))
+    engine.schedule(1.0, network.set_site_up, 1, False)
+    engine.run()
+    assert inboxes[1] == []
+
+
+def test_partition_blocks_and_heal_restores():
+    engine, network, inboxes = build()
+    network.partitions.split([[0], [1, 2]])
+    network.send(0, 1, Ping(1))
+    engine.run()
+    assert inboxes[1] == []
+    assert network.stats.dropped_partition == 1
+    network.partitions.heal()
+    network.send(0, 1, Ping(2))
+    engine.run()
+    assert [d.payload.n for d in inboxes[1]] == [2]
+
+
+def test_loss_rate_drops_roughly_that_fraction():
+    engine, network, inboxes = build(loss_rate=0.3)
+    for n in range(1000):
+        network.send(0, 1, Ping(n))
+    engine.run()
+    received = len(inboxes[1])
+    assert 600 < received < 800
+    assert network.stats.dropped_loss == 1000 - received
+
+
+def test_message_accounting_by_kind():
+    engine, network, inboxes = build()
+    network.send(0, 1, Ping(1))
+    network.send(0, 2, Ping(2))
+    network.multicast(0, [0, 1, 2], Ping(3))
+    engine.run()
+    assert network.stats.by_kind["ping"] == 4  # multicast skips self
+    assert network.stats.sent == 4
+    assert network.stats.delivered == 4
+
+
+def test_multicast_include_self():
+    engine, network, inboxes = build()
+    network.multicast(0, [0, 1], Ping(1), include_self=True)
+    engine.run()
+    assert len(inboxes[0]) == 1 and len(inboxes[1]) == 1
+
+
+def test_unknown_site_rejected():
+    engine, network, _ = build()
+    with pytest.raises(ValueError):
+        network.send(0, 9, Ping(1))
+
+
+def test_kind_defaults_to_type_name():
+    engine, network, inboxes = build()
+    network.send(0, 1, {"raw": True})
+    engine.run()
+    assert network.stats.by_kind["dict"] == 1

@@ -1,0 +1,70 @@
+"""Unit tests for the channel router."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.net.network import Network
+from repro.net.router import ChannelRouter
+from repro.net.transport import ReliableTransport
+from repro.sim.engine import SimulationEngine
+
+
+@dataclass
+class Note:
+    text: str
+    kind: str = "note"
+
+
+def build(num_sites=2):
+    engine = SimulationEngine()
+    network = Network(engine, num_sites)
+    routers = []
+    for site in range(num_sites):
+        transport = ReliableTransport(engine, network, site)
+        routers.append(ChannelRouter(transport))
+    return engine, network, routers
+
+
+def test_dispatch_by_channel():
+    engine, network, routers = build()
+    got_a, got_b = [], []
+    routers[1].register("a", lambda src, p: got_a.append((src, p.text)))
+    routers[1].register("b", lambda src, p: got_b.append((src, p.text)))
+    routers[0].send(1, "a", Note("to-a"))
+    routers[0].send(1, "b", Note("to-b"))
+    engine.run()
+    assert got_a == [(0, "to-a")]
+    assert got_b == [(0, "to-b")]
+
+
+def test_unregistered_channel_raises():
+    engine, network, routers = build()
+    routers[0].send(1, "ghost", Note("boo"))
+    with pytest.raises(RuntimeError, match="no handler"):
+        engine.run()
+
+
+def test_duplicate_registration_rejected():
+    engine, network, routers = build()
+    routers[0].register("x", lambda s, p: None)
+    with pytest.raises(ValueError):
+        routers[0].register("x", lambda s, p: None)
+
+
+def test_multicast_skips_self_by_default():
+    engine, network, routers = build(3)
+    boxes = [[] for _ in range(3)]
+    for site in range(3):
+        routers[site].register("c", lambda src, p, site=site: boxes[site].append(p.text))
+    routers[0].multicast([0, 1, 2], "c", Note("hello"))
+    engine.run()
+    assert boxes[0] == [] and boxes[1] == ["hello"] and boxes[2] == ["hello"]
+
+
+def test_message_kind_accounting_flows_through():
+    engine, network, routers = build()
+    routers[1].register("c", lambda src, p: None)
+    routers[0].send(1, "c", Note("x"))
+    engine.run()
+    assert network.stats.by_kind["note"] == 1

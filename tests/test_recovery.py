@@ -1,0 +1,119 @@
+"""Tests for the message-based state-transfer recovery protocol."""
+
+import pytest
+
+from repro.core.cluster import Cluster, ClusterConfig
+from repro.core.transaction import AbortReason, TransactionSpec
+
+
+def fault_cluster(protocol="rbp", **overrides):
+    defaults = dict(
+        protocol=protocol,
+        num_sites=4,
+        num_objects=16,
+        seed=17,
+        enable_failure_detector=True,
+        fd_interval=20.0,
+        fd_timeout=80.0,
+        relay=True,  # agreement despite sender crash (DESIGN.md)
+    )
+    defaults.update(overrides)
+    return Cluster(ClusterConfig(**defaults))
+
+
+def spec(name, home, key, value):
+    return TransactionSpec.make(name, home, read_keys=[key], writes={key: value})
+
+
+def test_state_transfer_is_message_based():
+    cluster = fault_cluster()
+    cluster.crash_site(3, at=10.0)
+    cluster.submit(spec("while_down", 0, "x0", "fresh"), at=500.0)
+    cluster.run(max_time=10000)
+    cluster.recover_site(3)
+    result = cluster.run(max_time=60000)
+    assert result.ok
+    # The snapshot travelled as actual messages.
+    assert result.messages_by_kind.get("recovery.request", 0) >= 1
+    assert result.messages_by_kind.get("recovery.reply", 0) >= 1
+    assert cluster.recovery_agents[3].transfers_completed == 1
+    assert cluster.replicas[3].store.read("x0").value == "fresh"
+
+
+def test_recovering_site_refuses_transactions():
+    cluster = fault_cluster(retry_aborted=False)
+    cluster.crash_site(3, at=10.0)
+    cluster.run(max_time=1000)
+    # Start recovery but submit before the transfer reply can possibly
+    # arrive (same instant).
+    cluster.recover_site(3)
+    cluster.submit(spec("too_soon", 3, "x0", 1), at=cluster.engine.now)
+    result = cluster.run(max_time=60000)
+    assert cluster.spec_status("too_soon").last_outcome is AbortReason.SITE_FAILURE
+
+
+def test_recovered_site_participates_again():
+    cluster = fault_cluster()
+    cluster.crash_site(2, at=10.0)
+    cluster.run_for(2000)
+    cluster.recover_site(2)
+    cluster.run_for(2000)  # view rejoin + settle window + transfer
+    assert not cluster.replicas[2].recovering
+    cluster.submit(spec("post", 2, "x1", "back"), at=cluster.engine.now + 500.0)
+    result = cluster.run(max_time=60000)
+    assert result.ok
+    assert cluster.spec_status("post").committed
+    for replica in cluster.replicas:
+        assert replica.store.read("x1").value == "back"
+
+
+@pytest.mark.parametrize("protocol", ["cbp", "abp"])
+def test_broadcast_stack_fast_forward(protocol):
+    """After recovery the causal/total layers resume cleanly: new updates
+    from and to the recovered site commit and replicas converge."""
+    cluster = fault_cluster(protocol=protocol, cbp_heartbeat=20.0)
+    cluster.submit(spec("before", 0, "x0", "v0"), at=100.0)
+    cluster.run(max_time=3000)
+    cluster.crash_site(3)
+    cluster.submit(spec("during", 1, "x1", "v1"), at=cluster.engine.now + 500.0)
+    cluster.run(max_time=30000)
+    cluster.recover_site(3)
+    cluster.run(max_time=30000)
+    cluster.submit(spec("after", 3, "x2", "v2"), at=cluster.engine.now + 500.0)
+    cluster.submit(spec("toward", 0, "x3", "v3"), at=cluster.engine.now + 600.0)
+    result = cluster.run(max_time=120000)
+    assert result.ok, result.serialization.explain()
+    assert cluster.spec_status("after").committed
+    assert cluster.spec_status("toward").committed
+    assert cluster.replicas[3].store.read("x1").value == "v1"
+
+
+def test_donor_must_be_in_primary_component():
+    """A recovering site never clones from another recovering/minority
+    site: the donor chosen is a primary-component member."""
+    cluster = fault_cluster()
+    cluster.crash_site(3, at=10.0)
+    cluster.run_for(1000)
+    cluster.recover_site(3)
+    cluster.run_for(3000)
+    served = [agent.transfers_served for agent in cluster.recovery_agents]
+    assert sum(served) == 1
+    donor_site = served.index(1)
+    assert cluster.replicas[donor_site].has_quorum
+
+
+def test_recovery_preserves_1sr_with_traffic_after_rejoin():
+    cluster = fault_cluster(protocol="cbp", cbp_heartbeat=15.0)
+    for n in range(4):
+        cluster.submit(spec(f"pre{n}", n, f"x{n}", n), at=100.0 + n * 50.0)
+    cluster.crash_site(1, at=600.0)
+    for n in range(4):
+        cluster.submit(
+            spec(f"mid{n}", [0, 2, 3][n % 3], f"x{4 + n}", n), at=1500.0 + n * 50.0
+        )
+    cluster.recover_site(1, at=4000.0)
+    for n in range(4):
+        cluster.submit(spec(f"post{n}", n, f"x{8 + n}", n), at=6000.0 + n * 50.0)
+    result = cluster.run(max_time=300000, stop_when=cluster.await_specs(12))
+    assert result.ok, result.serialization.explain()
+    assert result.committed_specs == 12

@@ -1,0 +1,75 @@
+"""Tests for the named workload scenarios."""
+
+import pytest
+
+from repro.cli import main
+from repro.workload.scenarios import SCENARIOS, get_scenario, scenario_names
+
+
+def test_catalog_is_nonempty_and_consistent():
+    assert len(SCENARIOS) >= 5
+    for name, scenario in SCENARIOS.items():
+        assert scenario.name == name
+        assert scenario.description
+        assert scenario.suggested_mpl >= 1
+
+
+def test_lookup_known_and_unknown():
+    assert get_scenario("hotspot").workload.zipf_theta > 1.0
+    with pytest.raises(KeyError, match="available"):
+        get_scenario("nope")
+
+
+def test_scenario_names_sorted():
+    names = scenario_names()
+    assert names == sorted(names)
+    assert "uniform" in names
+
+
+def test_for_sites_rebinds_geometry():
+    scenario = get_scenario("uniform")
+    workload = scenario.for_sites(9)
+    assert workload.num_sites == 9
+    # Original untouched (frozen semantics).
+    assert scenario.workload.num_sites == 4
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_every_scenario_runs_on_every_protocol(name):
+    """Smoke: each scenario drives a small cluster to a clean finish."""
+    from repro.core.cluster import Cluster, ClusterConfig
+    from repro.workload.runner import run_standard_mix
+
+    scenario = get_scenario(name)
+    cluster = Cluster(
+        ClusterConfig(
+            protocol="abp",
+            num_sites=3,
+            num_objects=scenario.workload.num_objects,
+            seed=3,
+        )
+    )
+    result = run_standard_mix(
+        cluster, scenario.for_sites(3), transactions=12, mpl=3
+    )
+    assert result.ok
+    assert result.committed_specs == 12
+
+
+def test_cli_scenario_flag(capsys):
+    code = main(
+        [
+            "run",
+            "rbp",
+            "--scenario",
+            "read_mostly",
+            "--transactions",
+            "8",
+            "--mpl",
+            "2",
+            "--sites",
+            "3",
+        ]
+    )
+    assert code == 0
+    assert "1SR OK" in capsys.readouterr().out

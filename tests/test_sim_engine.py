@@ -1,0 +1,153 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationEngine, SimulationError
+
+
+def test_events_fire_in_time_order(engine):
+    fired = []
+    engine.schedule(5.0, fired.append, "b")
+    engine.schedule(1.0, fired.append, "a")
+    engine.schedule(9.0, fired.append, "c")
+    engine.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_schedule_order(engine):
+    fired = []
+    for tag in ("first", "second", "third"):
+        engine.schedule(3.0, fired.append, tag)
+    engine.run()
+    assert fired == ["first", "second", "third"]
+
+
+def test_now_advances_to_event_time(engine):
+    seen = []
+    engine.schedule(2.5, lambda: seen.append(engine.now))
+    engine.schedule(7.0, lambda: seen.append(engine.now))
+    engine.run()
+    assert seen == [2.5, 7.0]
+
+
+def test_run_until_stops_clock_at_bound(engine):
+    fired = []
+    engine.schedule(4.0, fired.append, "early")
+    engine.schedule(100.0, fired.append, "late")
+    engine.run(until=10.0)
+    assert fired == ["early"]
+    assert engine.now == 10.0
+
+
+def test_events_scheduled_during_run_execute(engine):
+    fired = []
+
+    def outer():
+        engine.schedule(1.0, fired.append, "inner")
+
+    engine.schedule(1.0, outer)
+    engine.run()
+    assert fired == ["inner"]
+
+
+def test_cancelled_event_does_not_fire(engine):
+    fired = []
+    handle = engine.schedule(1.0, fired.append, "x")
+    handle.cancel()
+    engine.run()
+    assert fired == []
+    assert not handle.pending
+
+
+def test_cancel_after_fire_is_noop(engine):
+    fired = []
+    handle = engine.schedule(1.0, fired.append, "x")
+    engine.run()
+    handle.cancel()
+    assert fired == ["x"]
+
+
+def test_negative_delay_rejected(engine):
+    with pytest.raises(SimulationError):
+        engine.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_in_past_rejected(engine):
+    engine.schedule(5.0, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.schedule_at(1.0, lambda: None)
+
+
+def test_stop_from_callback(engine):
+    fired = []
+    engine.schedule(1.0, fired.append, "a")
+    engine.schedule(2.0, engine.stop)
+    engine.schedule(3.0, fired.append, "b")
+    engine.run()
+    assert fired == ["a"]
+
+
+def test_stop_when_predicate(engine):
+    fired = []
+    for i in range(10):
+        engine.schedule(float(i + 1), fired.append, i)
+    engine.run(stop_when=lambda: len(fired) >= 4)
+    assert fired == [0, 1, 2, 3]
+
+
+def test_max_events_budget(engine):
+    fired = []
+    for i in range(10):
+        engine.schedule(float(i + 1), fired.append, i)
+    engine.run(max_events=3)
+    assert len(fired) == 3
+
+
+def test_step_returns_false_when_empty(engine):
+    assert engine.step() is False
+    engine.schedule(1.0, lambda: None)
+    assert engine.step() is True
+    assert engine.step() is False
+
+
+def test_peek_time_skips_cancelled(engine):
+    handle = engine.schedule(1.0, lambda: None)
+    engine.schedule(2.0, lambda: None)
+    handle.cancel()
+    assert engine.peek_time() == 2.0
+
+
+def test_pending_count(engine):
+    handles = [engine.schedule(float(i + 1), lambda: None) for i in range(5)]
+    handles[0].cancel()
+    assert engine.pending_count() == 4
+
+
+def test_engine_not_reentrant(engine):
+    def reenter():
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    engine.schedule(1.0, reenter)
+    engine.run()
+
+
+def test_events_processed_counter(engine):
+    for i in range(4):
+        engine.schedule(float(i), lambda: None)
+    engine.run()
+    assert engine.events_processed == 4
+
+
+def test_zero_delay_event_runs_after_current(engine):
+    order = []
+
+    def first():
+        order.append("first-start")
+        engine.schedule(0.0, order.append, "zero")
+        order.append("first-end")
+
+    engine.schedule(1.0, first)
+    engine.run()
+    assert order == ["first-start", "first-end", "zero"]

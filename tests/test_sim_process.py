@@ -1,0 +1,88 @@
+"""Unit tests for the fail-stop process abstraction."""
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.process import Process
+
+
+class Ticker(Process):
+    def __init__(self, engine):
+        super().__init__(engine, "ticker")
+        self.ticks = 0
+        self.crashes = 0
+        self.recoveries = 0
+
+    def tick(self):
+        self.ticks += 1
+        self.schedule(1.0, self.tick)
+
+    def on_crash(self):
+        self.crashes += 1
+
+    def on_recover(self):
+        self.recoveries += 1
+
+
+def test_scheduled_work_runs_while_alive():
+    engine = SimulationEngine()
+    ticker = Ticker(engine)
+    ticker.schedule(1.0, ticker.tick)
+    engine.run(until=5.5)
+    assert ticker.ticks == 5
+
+
+def test_crash_cancels_pending_timers():
+    engine = SimulationEngine()
+    ticker = Ticker(engine)
+    ticker.schedule(1.0, ticker.tick)
+    engine.schedule(3.5, ticker.crash)
+    engine.run(until=100.0)
+    assert ticker.ticks == 3
+    assert ticker.crashes == 1
+    assert not ticker.alive
+
+
+def test_schedules_after_crash_do_not_fire():
+    engine = SimulationEngine()
+    ticker = Ticker(engine)
+    ticker.crash()
+    ticker.schedule(1.0, ticker.tick)
+    engine.run()
+    assert ticker.ticks == 0
+
+
+def test_timers_from_before_crash_do_not_fire_after_recover():
+    engine = SimulationEngine()
+    ticker = Ticker(engine)
+    ticker.schedule(10.0, ticker.tick)  # pre-crash timer
+    engine.schedule(1.0, ticker.crash)
+    engine.schedule(2.0, ticker.recover)
+    engine.run(until=50.0)
+    # The pre-crash timer was cancelled; recovery does not resurrect it.
+    assert ticker.ticks == 0
+    assert ticker.recoveries == 1
+    assert ticker.alive
+
+
+def test_crash_epoch_guards_in_flight_callbacks():
+    """A timer armed pre-crash never fires, even if crash+recover both
+    happen before its deadline (the epoch check catches stale closures)."""
+    engine = SimulationEngine()
+    ticker = Ticker(engine)
+    ticker.schedule(5.0, ticker.tick)
+    engine.schedule(1.0, ticker.crash)
+    engine.schedule(2.0, ticker.recover)
+    engine.schedule(6.0, lambda: ticker.schedule(1.0, ticker.tick))
+    engine.run(until=10.0)
+    assert ticker.ticks >= 1  # post-recovery timer works
+    assert ticker.crashes == 1
+
+
+def test_double_crash_and_double_recover_are_idempotent():
+    engine = SimulationEngine()
+    ticker = Ticker(engine)
+    ticker.crash()
+    ticker.crash()
+    assert ticker.crashes == 1
+    ticker.recover()
+    ticker.recover()
+    assert ticker.recoveries == 1

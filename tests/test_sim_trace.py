@@ -1,0 +1,45 @@
+"""Unit tests for the trace log."""
+
+from repro.sim.trace import TraceLog
+
+
+def test_emit_and_filter():
+    log = TraceLog()
+    log.emit(1.0, "site0", "tx.commit", tx="T1")
+    log.emit(2.0, "site1", "tx.abort", tx="T2")
+    log.emit(3.0, "site0", "tx.commit", tx="T3")
+    assert len(log) == 3
+    assert [r.detail["tx"] for r in log.filter(kind="tx.commit")] == ["T1", "T3"]
+    assert [r.detail["tx"] for r in log.filter(source="site1")] == ["T2"]
+    assert log.filter(kind="tx.commit", tx="T3")[0].time == 3.0
+
+
+def test_disabled_log_still_counts():
+    log = TraceLog(enabled=False)
+    log.emit(1.0, "s", "event.a")
+    log.emit(2.0, "s", "event.a")
+    assert len(log) == 0
+    assert log.count("event.a") == 2
+
+
+def test_capacity_bound():
+    log = TraceLog(capacity=2)
+    for i in range(5):
+        log.emit(float(i), "s", "k")
+    assert len(log) == 2
+    assert log.count("k") == 5
+
+
+def test_dump_renders_every_record():
+    log = TraceLog()
+    log.emit(1.0, "site0", "tx.commit", tx="T1")
+    text = log.dump()
+    assert "site0" in text and "tx.commit" in text and "tx=T1" in text
+
+
+def test_clear():
+    log = TraceLog()
+    log.emit(1.0, "s", "k")
+    log.clear()
+    assert len(log) == 0
+    assert log.count("k") == 0

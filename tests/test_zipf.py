@@ -1,0 +1,57 @@
+"""Tests for the Zipf sampler."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.workload.zipf import ZipfSampler
+
+
+@pytest.fixture
+def rng():
+    return random.Random(77)
+
+
+def test_uniform_when_theta_zero(rng):
+    sampler = ZipfSampler(10, theta=0.0)
+    counts = Counter(sampler.sample(rng) for _ in range(10000))
+    assert set(counts) == set(range(10))
+    assert max(counts.values()) < 2 * min(counts.values())
+
+
+def test_skew_orders_frequencies(rng):
+    sampler = ZipfSampler(20, theta=1.0)
+    counts = Counter(sampler.sample(rng) for _ in range(20000))
+    assert counts[0] > counts[5] > counts[15]
+
+
+def test_samples_in_range(rng):
+    sampler = ZipfSampler(7, theta=0.9)
+    assert all(0 <= sampler.sample(rng) < 7 for _ in range(1000))
+
+
+def test_sample_distinct_no_duplicates(rng):
+    sampler = ZipfSampler(30, theta=0.8)
+    for _ in range(100):
+        picks = sampler.sample_distinct(rng, 5)
+        assert len(picks) == len(set(picks)) == 5
+
+
+def test_sample_distinct_full_coverage(rng):
+    sampler = ZipfSampler(6, theta=0.5)
+    picks = sampler.sample_distinct(rng, 6)
+    assert sorted(picks) == list(range(6))
+
+
+def test_sample_distinct_too_many_rejected(rng):
+    sampler = ZipfSampler(3)
+    with pytest.raises(ValueError):
+        sampler.sample_distinct(rng, 4)
+
+
+def test_invalid_params_rejected():
+    with pytest.raises(ValueError):
+        ZipfSampler(0)
+    with pytest.raises(ValueError):
+        ZipfSampler(5, theta=-1.0)
