@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments docs examples clean all
+.PHONY: install test bench bench-report experiments experiments-fast docs examples clean all
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -16,8 +16,20 @@ test-fast:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
+# Perf trajectory: times the kernel + representative experiments, writes the
+# next BENCH_N.json and fails on regression vs the previous snapshot.
+bench-report:
+	$(PYTHON) scripts/bench_report.py
+
+bench-smoke:
+	$(PYTHON) scripts/bench_report.py --quick
+
 experiments:
 	$(PYTHON) scripts/run_experiments.py
+
+# Same tables, one pytest process per experiment fanned across cores.
+experiments-fast:
+	$(PYTHON) scripts/run_experiments.py --jobs 4
 
 docs:
 	$(PYTHON) scripts/gen_api_index.py

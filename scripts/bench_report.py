@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Run the perf suite, write the next BENCH_N.json, flag regressions.
+
+The BENCH_*.json files at the repository root are the perf trajectory: one
+snapshot per optimisation PR.  Each run compares itself against the latest
+existing snapshot of the same mode (quick vs full) and exits non-zero when a
+benchmark's ops/sec fell beyond the tolerance, so a kernel slowdown cannot
+land silently.
+
+Usage:
+    python scripts/bench_report.py                  # full suite, write next BENCH_N.json
+    python scripts/bench_report.py --quick          # CI smoke: small configs, no write
+    python scripts/bench_report.py --quick --write  # write a quick snapshot anyway
+    python scripts/bench_report.py --out PATH       # explicit output path
+    python scripts/bench_report.py --tolerance 0.5  # looser regression gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.analysis import perf  # noqa: E402  (path bootstrap above)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small configs (CI smoke); implies --no-write unless --write",
+    )
+    parser.add_argument("--write", action="store_true", help="force writing a snapshot")
+    parser.add_argument(
+        "--no-write", action="store_true", help="run and compare without writing"
+    )
+    parser.add_argument("--out", type=pathlib.Path, default=None, help="output path")
+    parser.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        default=None,
+        help="explicit baseline report (default: latest BENCH_N.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.35,
+        help="allowed fractional ops/sec drop before failing (default 0.35)",
+    )
+    args = parser.parse_args(argv)
+
+    results = perf.run_suite(quick=args.quick)
+    print(perf.render_results(results))
+    report = perf.to_report(results, quick=args.quick)
+
+    existing = perf.bench_paths(ROOT)
+    baseline_path = args.baseline if args.baseline is not None else (
+        existing[-1] if existing else None
+    )
+    exit_code = 0
+    if baseline_path is not None and baseline_path.exists():
+        baseline = perf.load_report(baseline_path)
+        if baseline.get("quick") != report.get("quick"):
+            print(
+                f"\nbaseline {baseline_path.name} is a "
+                f"{'quick' if baseline.get('quick') else 'full'} report; "
+                "skipping comparison (modes differ)"
+            )
+        else:
+            regressions = perf.compare_reports(baseline, report, args.tolerance)
+            if regressions:
+                print(f"\nREGRESSIONS vs {baseline_path.name}:")
+                for line in regressions:
+                    print(f"  {line}")
+                exit_code = 1
+            else:
+                print(f"\nno regressions vs {baseline_path.name} "
+                      f"(tolerance -{args.tolerance:.0%})")
+    else:
+        print("\nno baseline BENCH_*.json found; writing the first snapshot")
+
+    write = args.write or (not args.quick and not args.no_write)
+    if write:
+        out = args.out if args.out is not None else perf.next_bench_path(ROOT)
+        perf.write_report(out, report)
+        print(f"wrote {out}")
+    return exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

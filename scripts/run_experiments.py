@@ -6,16 +6,24 @@ invokes the benchmark suite with output capture disabled so all result
 tables print, and summarizes pass/fail per experiment at the end.
 
 Usage:
-    python scripts/run_experiments.py            # everything
-    python scripts/run_experiments.py e1 e3      # a subset
+    python scripts/run_experiments.py                # everything, serially
+    python scripts/run_experiments.py e1 e3          # a subset
+    python scripts/run_experiments.py --jobs 4       # fan experiments across cores
+
+Each experiment is one independent deterministic pytest process, so
+``--jobs`` changes wall-clock only — tables and pass/fail outcomes are
+identical to a serial run.  With ``--jobs > 1`` output is captured per
+experiment and printed in experiment order once complete.
 """
 
 from __future__ import annotations
 
+import argparse
 import pathlib
 import subprocess
 import sys
 import time
+from concurrent.futures import ThreadPoolExecutor
 
 BENCH_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
 
@@ -34,32 +42,66 @@ EXPERIMENTS = {
 }
 
 
+def _pytest_command(experiment: str) -> list[str]:
+    return [
+        sys.executable,
+        "-m",
+        "pytest",
+        str(BENCH_DIR / EXPERIMENTS[experiment]),
+        "--benchmark-only",
+        "--benchmark-disable-gc",
+        "-q",
+        "-s",
+    ]
+
+
+def _run_captured(experiment: str) -> tuple[bool, float, str]:
+    started = time.time()
+    proc = subprocess.run(
+        _pytest_command(experiment),
+        cwd=BENCH_DIR.parent,
+        capture_output=True,
+        text=True,
+    )
+    output = proc.stdout + (("\n" + proc.stderr) if proc.stderr else "")
+    return proc.returncode == 0, time.time() - started, output
+
+
 def main(argv: list[str]) -> int:
-    requested = [a.lower() for a in argv] or sorted(EXPERIMENTS)
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("experiments", nargs="*", help="subset, e.g. e1 e3")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="experiments to run concurrently (results are order/outcome identical)",
+    )
+    args = parser.parse_args(argv)
+
+    requested = [a.lower() for a in args.experiments] or sorted(EXPERIMENTS)
     unknown = [e for e in requested if e not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {unknown}; pick from {sorted(EXPERIMENTS)}")
         return 2
 
     outcomes: dict[str, tuple[bool, float]] = {}
-    for experiment in requested:
-        target = BENCH_DIR / EXPERIMENTS[experiment]
-        print(f"\n{'=' * 72}\n{experiment.upper()}: {target.name}\n{'=' * 72}")
-        started = time.time()
-        proc = subprocess.run(
-            [
-                sys.executable,
-                "-m",
-                "pytest",
-                str(target),
-                "--benchmark-only",
-                "--benchmark-disable-gc",
-                "-q",
-                "-s",
-            ],
-            cwd=BENCH_DIR.parent,
-        )
-        outcomes[experiment] = (proc.returncode == 0, time.time() - started)
+    if args.jobs > 1 and len(requested) > 1:
+        # Each experiment is its own subprocess; threads only babysit them.
+        with ThreadPoolExecutor(max_workers=min(args.jobs, len(requested))) as pool:
+            futures = {e: pool.submit(_run_captured, e) for e in requested}
+        for experiment in requested:
+            ok, elapsed, output = futures[experiment].result()
+            target = BENCH_DIR / EXPERIMENTS[experiment]
+            print(f"\n{'=' * 72}\n{experiment.upper()}: {target.name}\n{'=' * 72}")
+            print(output, end="")
+            outcomes[experiment] = (ok, elapsed)
+    else:
+        for experiment in requested:
+            target = BENCH_DIR / EXPERIMENTS[experiment]
+            print(f"\n{'=' * 72}\n{experiment.upper()}: {target.name}\n{'=' * 72}")
+            started = time.time()
+            proc = subprocess.run(_pytest_command(experiment), cwd=BENCH_DIR.parent)
+            outcomes[experiment] = (proc.returncode == 0, time.time() - started)
 
     print(f"\n{'=' * 72}\nSummary\n{'=' * 72}")
     failed = 0

@@ -7,7 +7,9 @@ auditor covers the *machine state* a clean run must leave behind:
 - no in-flight protocol state (buffered writes, pending votes/echoes);
 - store/WAL agreement (checkpoint + log tail reproduces the store);
 - replica convergence and one-copy serializability (delegated);
-- read-only guarantee (no protocol-level read-only aborts).
+- read-only guarantee (no protocol-level read-only aborts);
+- trace completeness (a capacity-truncated trace log is flagged, so a
+  truncated trace is never read as a complete history).
 
 Tests call :func:`audit_cluster` after draining a run and assert the
 finding list is empty; each finding is a human-readable sentence naming
@@ -42,6 +44,7 @@ class Finding:
 def audit_cluster(cluster: "Cluster", strict_wal: bool = True) -> list[Finding]:
     """Run every post-quiescence check; returns the (ideally empty) findings."""
     findings: list[Finding] = []
+    findings.extend(_audit_trace(cluster))
     findings.extend(_audit_serialization(cluster))
     for replica in cluster.replicas:
         if not replica.alive:
@@ -52,6 +55,24 @@ def audit_cluster(cluster: "Cluster", strict_wal: bool = True) -> list[Finding]:
             findings.extend(_audit_wal(replica))
     findings.extend(_audit_readonly(cluster))
     return findings
+
+
+def _audit_trace(cluster: "Cluster") -> list[Finding]:
+    """Flag truncated trace logs: any analysis over ``cluster.trace`` (and
+    any test asserting on it) would otherwise silently read an incomplete
+    history as a complete one — ``emit`` keeps counting past ``capacity``
+    while dropping the records themselves."""
+    trace = getattr(cluster, "trace", None)
+    if trace is None or not getattr(trace, "dropped", 0):
+        return []
+    return [
+        Finding(
+            -1,
+            "trace-truncated",
+            f"trace log dropped {trace.dropped} records at capacity="
+            f"{trace.capacity}; cluster.trace is an incomplete history",
+        )
+    ]
 
 
 def _audit_serialization(cluster: "Cluster") -> list[Finding]:
@@ -102,6 +123,7 @@ def _audit_protocol_state(replica) -> list[Finding]:
         "_write_round": "open write rounds",
         "_write_queue": "unsent writes",
         "_votes": "open vote tallies",
+        "_write_seen": "live orphan watchdogs",
         "_states": "pending commit states",
         "_shipped": "undelivered shipped write sets",
     }

@@ -4,15 +4,30 @@ An :class:`ExperimentSweep` runs one scenario function over a grid of
 parameter values (optionally with seed replication) and collects rows for
 an ASCII table — the shape every experiment in the paper reduces to: one
 row per sweep point, one column per protocol or metric.
+
+Sweeps fan out across processes when asked (``jobs > 1``): every cell of
+the ``parameters x protocols x seeds`` grid is one independent,
+deterministic simulation, so workers share nothing and the aggregated
+results are **bit-identical** to a serial run (asserted by the test suite).
+The only requirement is the usual multiprocessing one: the scenario
+callable must be picklable (a module-level function or a callable object of
+a module-level class — not a closure).
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Optional, Sequence
 
 from repro.analysis.report import Table
 from repro.analysis.stats import mean
+
+
+def _run_cell(scenario: Callable[[str, Any, int], dict[str, float]],
+              parameter: Any, protocol: str, seed: int) -> dict[str, float]:
+    """Top-level trampoline so worker processes can unpickle the call."""
+    return scenario(protocol, parameter, seed)
 
 
 @dataclass
@@ -36,16 +51,70 @@ class ExperimentSweep:
     seeds: Sequence[int] = (0,)
     points: list[SweepPoint] = field(default_factory=list)
 
-    def run(self, progress: Optional[Callable[[str], None]] = None) -> "ExperimentSweep":
+    def _cells(self) -> list[tuple[Any, str, int]]:
+        """The sweep grid in its canonical (deterministic) order."""
+        return [
+            (parameter, protocol, seed)
+            for parameter in self.parameters
+            for protocol in self.protocols
+            for seed in self.seeds
+        ]
+
+    def run(
+        self,
+        progress: Optional[Callable[[str], None]] = None,
+        jobs: Optional[int] = None,
+    ) -> "ExperimentSweep":
+        """Run the sweep; ``jobs > 1`` fans cells across worker processes.
+
+        Parallel runs aggregate in the same canonical cell order as serial
+        runs, and each cell is a self-contained deterministic simulation, so
+        the resulting :attr:`points` are identical either way.
+        """
+        cells = self._cells()
+        if jobs is not None and jobs > 1 and len(cells) > 1:
+            measurements = self._run_parallel(cells, jobs, progress)
+        else:
+            measurements = []
+            for parameter, protocol, seed in cells:
+                if progress is not None:
+                    progress(f"{self.name}: {protocol} @ {parameter} (seed {seed})")
+                measurements.append(self.scenario(protocol, parameter, seed))
+        self._fold(cells, measurements)
+        return self
+
+    def _run_parallel(
+        self,
+        cells: list[tuple[Any, str, int]],
+        jobs: int,
+        progress: Optional[Callable[[str], None]],
+    ) -> list[dict[str, float]]:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
+            futures = []
+            for parameter, protocol, seed in cells:
+                if progress is not None:
+                    progress(
+                        f"{self.name}: {protocol} @ {parameter} (seed {seed}) [fan-out]"
+                    )
+                futures.append(
+                    pool.submit(_run_cell, self.scenario, parameter, protocol, seed)
+                )
+            # Collect in submission (= canonical) order, not completion order.
+            return [future.result() for future in futures]
+
+    def _fold(
+        self,
+        cells: list[tuple[Any, str, int]],
+        measurements: list[dict[str, float]],
+    ) -> None:
+        assert len(cells) == len(measurements)
+        index = 0
         for parameter in self.parameters:
             for protocol in self.protocols:
                 samples: dict[str, list[float]] = {}
-                for seed in self.seeds:
-                    if progress is not None:
-                        progress(
-                            f"{self.name}: {protocol} @ {parameter} (seed {seed})"
-                        )
-                    measured = self.scenario(protocol, parameter, seed)
+                for _seed in self.seeds:
+                    measured = measurements[index]
+                    index += 1
                     for key, value in measured.items():
                         samples.setdefault(key, []).append(value)
                 self.points.append(
@@ -55,7 +124,6 @@ class ExperimentSweep:
                         {key: mean(values) for key, values in samples.items()},
                     )
                 )
-        return self
 
     def value(self, parameter: Any, protocol: str, metric: str) -> float:
         for point in self.points:

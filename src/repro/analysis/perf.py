@@ -1,0 +1,309 @@
+"""Performance-regression harness: timed benchmarks + JSON trajectory.
+
+The experiments in ``benchmarks/`` regenerate the paper's *comparative*
+claims; this module makes the harness's own *speed* a tracked artifact.  It
+times
+
+- two **macro** configurations representative of E1 (message cost, 8 sites,
+  CBP) and E5 (throughput, ABP at MPL 8) and reports simulated events/sec,
+  wall-clock, and the run's simulated commit-latency p50/p95;
+- two **micro** benchmarks isolating the kernel hot paths this repo's
+  optimisation PRs target: engine schedule/cancel timer churn and
+  vector-clock comparisons.
+
+``scripts/bench_report.py`` runs the suite, writes the next ``BENCH_N.json``
+at the repository root and compares against the previous one with a
+configurable tolerance, so a kernel regression fails loudly instead of
+silently eating every later experiment's wall-clock budget.
+
+Wall-clock numbers are hardware-dependent; the JSON embeds enough context
+(python version, quick/full mode) that comparisons only happen between
+like-for-like reports.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+SCHEMA_VERSION = 1
+
+BENCH_PATTERN = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+@dataclass
+class BenchResult:
+    """One timed benchmark."""
+
+    name: str
+    wall_s: float
+    ops: int  #: work units done: simulation events (macro) or operations (micro)
+    unit: str  #: what ``ops`` counts, e.g. "events", "compares"
+    metrics: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ops_per_sec(self) -> float:
+        return self.ops / self.wall_s if self.wall_s > 0 else float("inf")
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "wall_s": round(self.wall_s, 6),
+            "ops": self.ops,
+            "unit": self.unit,
+            "ops_per_sec": round(self.ops_per_sec, 3),
+            "metrics": {k: round(v, 6) for k, v in sorted(self.metrics.items())},
+        }
+
+
+# -- micro benchmarks ---------------------------------------------------------
+
+
+def bench_engine_churn(timers: int = 100_000, quick: bool = False) -> BenchResult:
+    """ARQ-style schedule/cancel churn through the event loop.
+
+    Mimics what a lossy-network run does to the kernel: arm a timer, cancel
+    most of them before they fire, keep going.  Exercises the lazy-compaction
+    path; ``metrics`` reports the final heap size so a compaction regression
+    (heap pinned by cancelled entries) is visible, not just slow.
+    """
+    from repro.sim.engine import SimulationEngine
+
+    if quick:
+        timers //= 10
+    engine = SimulationEngine()
+    pending: list = []
+
+    def churn(round_no: int) -> None:
+        # Cancel what the previous round armed (acks arrived)...
+        for handle in pending:
+            handle.cancel()
+        pending.clear()
+        if round_no <= 0:
+            return
+        # ...and arm a fresh burst of retransmit timers.
+        for i in range(10):
+            pending.append(engine.schedule(5.0 + i, lambda: None))
+        engine.schedule(1.0, churn, round_no - 1)
+
+    started = time.perf_counter()
+    engine.schedule(0.0, churn, timers // 10)
+    engine.run()
+    wall = time.perf_counter() - started
+    return BenchResult(
+        name="engine_churn",
+        wall_s=wall,
+        ops=engine.events_processed,
+        unit="events",
+        metrics={
+            "timers_armed": float(timers),
+            "final_heap": float(engine.heap_size()),
+            "compactions": float(engine.compactions),
+        },
+    )
+
+
+def bench_vector_clock(sites: int = 8, iterations: int = 60_000, quick: bool = False) -> BenchResult:
+    """Fused vs chained comparison throughput on CBP-shaped clocks."""
+    from repro.sim.rng import RngRegistry
+    from repro.broadcast.vector_clock import VectorClock
+
+    if quick:
+        iterations //= 10
+    rng = RngRegistry(4242).stream("perf.vclock")
+    clocks = [
+        VectorClock([rng.randrange(0, 50) for _ in range(sites)]) for _ in range(256)
+    ]
+    pairs = [
+        (clocks[rng.randrange(len(clocks))], clocks[rng.randrange(len(clocks))])
+        for _ in range(512)
+    ]
+    started = time.perf_counter()
+    sink = 0
+    for i in range(iterations):
+        a, b = pairs[i % len(pairs)]
+        sink += a.compare(b)
+        if a.concurrent_with(b):
+            sink += 1
+    wall = time.perf_counter() - started
+    return BenchResult(
+        name="vector_clock_compare",
+        wall_s=wall,
+        ops=iterations * 2,  # one compare() + one concurrent_with() per loop
+        unit="compares",
+        metrics={"sites": float(sites), "checksum": float(sink)},
+    )
+
+
+# -- macro benchmarks (representative experiment configs) ----------------------
+
+
+def _run_macro(name: str, protocol: str, quick: bool, **knobs: Any) -> BenchResult:
+    from repro.core.cluster import Cluster, ClusterConfig
+    from repro.workload.generator import WorkloadConfig
+    from repro.workload.runner import ClosedLoopRunner
+
+    cluster_kw = dict(knobs)
+    workload_kw: dict[str, Any] = cluster_kw.pop("workload")
+    transactions = cluster_kw.pop("transactions")
+    mpl = cluster_kw.pop("mpl")
+    if quick:
+        transactions = max(8, transactions // 4)
+    cluster = Cluster(ClusterConfig(protocol=protocol, **cluster_kw))
+    runner = ClosedLoopRunner(
+        cluster, WorkloadConfig(**workload_kw), mpl=mpl, transactions=transactions
+    )
+    started = time.perf_counter()
+    runner.start()
+    result = cluster.run(max_time=5_000_000.0)
+    wall = time.perf_counter() - started
+    assert result.serialization.ok, result.serialization.explain()
+    assert result.converged, "replicas diverged"
+    latency = result.metrics.commit_latency(read_only=False)
+    metrics = {
+        "committed": float(result.committed_specs),
+        "sim_duration_ms": result.duration,
+        "messages": float(result.network_stats["sent"]),
+    }
+    if latency.count:
+        metrics["latency_p50_ms"] = latency.p50
+        metrics["latency_p95_ms"] = latency.p95
+    return BenchResult(
+        name=name,
+        wall_s=wall,
+        ops=cluster.engine.events_processed,
+        unit="events",
+        metrics=metrics,
+    )
+
+
+def bench_e1_representative(quick: bool = False) -> BenchResult:
+    """E1's shape: message cost under CBP, 8 sites, 4 writes/txn."""
+    return _run_macro(
+        "e1_message_cost_cbp",
+        "cbp",
+        quick,
+        num_sites=8,
+        num_objects=256,
+        seed=42,
+        cbp_heartbeat=25.0,
+        transactions=48,
+        mpl=4,
+        workload=dict(
+            num_objects=256, num_sites=8, read_ops=4, write_ops=4, zipf_theta=0.0
+        ),
+    )
+
+
+def bench_e5_representative(quick: bool = False) -> BenchResult:
+    """E5's pytest-benchmark cell: ABP throughput at MPL 8, theta 0.4."""
+    return _run_macro(
+        "e5_throughput_abp",
+        "abp",
+        quick,
+        num_sites=4,
+        num_objects=48,
+        seed=21,
+        cbp_heartbeat=15.0,
+        max_attempts=80,
+        retry_backoff=4.0,
+        transactions=60,
+        mpl=8,
+        workload=dict(
+            num_objects=48, num_sites=4, read_ops=2, write_ops=2, zipf_theta=0.4
+        ),
+    )
+
+
+# -- suite / report -----------------------------------------------------------
+
+
+def run_suite(quick: bool = False) -> list[BenchResult]:
+    """Run every benchmark, micro first (they warm nothing up; order is
+    cosmetic but stable so reports diff cleanly)."""
+    return [
+        bench_engine_churn(quick=quick),
+        bench_vector_clock(quick=quick),
+        bench_e1_representative(quick=quick),
+        bench_e5_representative(quick=quick),
+    ]
+
+
+def to_report(results: list[BenchResult], quick: bool = False) -> dict[str, Any]:
+    return {
+        "schema": SCHEMA_VERSION,
+        "quick": quick,
+        "python": platform.python_version(),
+        "benchmarks": {r.name: r.to_json() for r in results},
+    }
+
+
+def write_report(path: pathlib.Path, report: dict[str, Any]) -> None:
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+def load_report(path: pathlib.Path) -> dict[str, Any]:
+    return json.loads(path.read_text())
+
+
+def bench_paths(root: pathlib.Path) -> list[pathlib.Path]:
+    """Every BENCH_N.json under ``root``, sorted by N."""
+    found = []
+    for path in root.iterdir():
+        match = BENCH_PATTERN.match(path.name)
+        if match:
+            found.append((int(match.group(1)), path))
+    return [path for _, path in sorted(found)]
+
+
+def next_bench_path(root: pathlib.Path) -> pathlib.Path:
+    existing = bench_paths(root)
+    if not existing:
+        return root / "BENCH_1.json"
+    last = int(BENCH_PATTERN.match(existing[-1].name).group(1))
+    return root / f"BENCH_{last + 1}.json"
+
+
+def compare_reports(
+    baseline: dict[str, Any], current: dict[str, Any], tolerance: float = 0.35
+) -> list[str]:
+    """Regressions of ``current`` against ``baseline``.
+
+    A benchmark regresses when its ops/sec fell by more than ``tolerance``
+    (fractional).  Reports from different modes (quick vs full) are never
+    compared — wall-clock simply isn't comparable across workload sizes —
+    and that mismatch is reported as a note, not a regression.
+    """
+    if baseline.get("quick") != current.get("quick"):
+        return []
+    regressions = []
+    base_benches = baseline.get("benchmarks", {})
+    for name, entry in current.get("benchmarks", {}).items():
+        base = base_benches.get(name)
+        if base is None:
+            continue
+        old = base.get("ops_per_sec", 0.0)
+        new = entry.get("ops_per_sec", 0.0)
+        if old > 0 and new < old * (1.0 - tolerance):
+            regressions.append(
+                f"{name}: {new:,.0f} {entry.get('unit', 'ops')}/s vs baseline "
+                f"{old:,.0f} ({new / old - 1.0:+.1%}, tolerance -{tolerance:.0%})"
+            )
+    return regressions
+
+
+def render_results(results: list[BenchResult]) -> str:
+    """Human-readable summary table for the console."""
+    from repro.analysis.report import Table
+
+    table = Table(
+        ["benchmark", "wall (s)", "ops", "ops/sec", "unit"],
+        title="perf suite",
+    )
+    for r in results:
+        table.add_row(r.name, r.wall_s, r.ops, r.ops_per_sec, r.unit)
+    return table.render()

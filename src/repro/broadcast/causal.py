@@ -16,6 +16,7 @@ can test causal precedence and concurrency between operations.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
@@ -24,7 +25,7 @@ from repro.broadcast.reliable import ReliableBroadcast
 from repro.broadcast.vector_clock import VectorClock
 
 
-@dataclass
+@dataclass(slots=True)
 class CausalEnvelope:
     """A payload stamped with the sender's vector clock at broadcast time."""
 
@@ -38,6 +39,7 @@ class CausalEnvelope:
             self.kind = (
                 payload_kind if isinstance(payload_kind, str) else type(self.payload).__name__
             )
+        self.kind = sys.intern(self.kind)
 
 
 class CausalBroadcast:
@@ -117,14 +119,15 @@ class CausalBroadcast:
     def _deliverable(self, message: BroadcastMessage) -> bool:
         envelope: CausalEnvelope = message.payload
         sender = message.sender
-        clock = envelope.vc
-        if clock[sender] != self._clock[sender] + 1:
+        # Hot path: raw entry lists, one scan, no generator machinery.
+        stamped = envelope.vc.entries
+        local = self._clock.entries
+        if stamped[sender] != local[sender] + 1:
             return False
-        return all(
-            clock[site] <= self._clock[site]
-            for site in range(self.num_sites)
-            if site != sender
-        )
+        for site in range(self.num_sites):
+            if site != sender and stamped[site] > local[site]:
+                return False
+        return True
 
     def _apply(self, message: BroadcastMessage) -> None:
         envelope: CausalEnvelope = message.payload

@@ -95,6 +95,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument(
         "--chart", action="store_true", help="also render ASCII charts per metric"
     )
+    sweep_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for the sweep grid (each cell is an independent "
+            "deterministic simulation; results are identical to --jobs 1)"
+        ),
+    )
     common(sweep_p)
 
     anatomy_p = sub.add_parser(
@@ -238,6 +247,25 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+class _SweepScenario:
+    """Picklable sweep cell runner (``--jobs`` sends it to worker processes,
+    so it must be a module-level class, not a closure)."""
+
+    def __init__(self, args: argparse.Namespace, axis_override: str):
+        self.args = args
+        self.axis_override = axis_override
+
+    def __call__(self, protocol: str, parameter: Any, seed: int) -> dict[str, float]:
+        result = _run_once(protocol, self.args, **{self.axis_override: parameter})
+        return {
+            "p50 latency (ms)": result.metrics.commit_latency(read_only=False).p50,
+            "messages/commit": (
+                result.network_stats["sent"] / max(result.committed_specs, 1)
+            ),
+            "attempts/commit": result.metrics.attempts_per_commit(),
+        }
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     """``repro sweep <axis>``: paper-style tables over one parameter."""
     protocols = [p.strip() for p in args.protocols.split(",") if p.strip()]
@@ -258,23 +286,16 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         "writes": "write_ops",
     }[args.axis]
 
-    def scenario(protocol: str, parameter: Any, seed: int) -> dict[str, float]:
-        result = _run_once(protocol, args, **{axis_override: parameter})
-        return {
-            "p50 latency (ms)": result.metrics.commit_latency(read_only=False).p50,
-            "messages/commit": (
-                result.network_stats["sent"] / max(result.committed_specs, 1)
-            ),
-            "attempts/commit": result.metrics.attempts_per_commit(),
-        }
-
     sweep = ExperimentSweep(
         name=f"sweep {args.axis}",
-        scenario=scenario,
+        scenario=_SweepScenario(args, axis_override),
         parameters=values,
         protocols=protocols,
         seeds=(args.seed,),
-    ).run(progress=lambda line: print(f"  {line}", file=sys.stderr))
+    ).run(
+        progress=lambda line: print(f"  {line}", file=sys.stderr),
+        jobs=getattr(args, "jobs", 1),
+    )
     print(sweep.render_all(parameter_label=args.axis))
     if args.chart:
         from repro.analysis.charts import chart_sweep

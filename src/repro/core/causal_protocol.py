@@ -49,7 +49,7 @@ from typing import Any, Optional
 from repro.analysis.metrics import MetricsCollector
 from repro.broadcast.causal import CausalBroadcast, CausalEnvelope
 from repro.broadcast.message import BroadcastMessage
-from repro.broadcast.vector_clock import VectorClock
+from repro.broadcast.vector_clock import BEFORE, VectorClock
 from repro.core.events import CbpCommitRequest, CbpNack, CbpNull, CbpWriteSet
 from repro.core.replica import Replica
 from repro.core.transaction import AbortReason, Transaction, TxPhase
@@ -249,7 +249,7 @@ class CausalBroadcastReplica(Replica):
         if opponent_state is not None and opponent_id not in self.local:
             # Remote (or already-public local) update transaction.
             opponent_clock = opponent_state.write_clocks.get(key)
-            if opponent_clock is not None and opponent_clock < clock:
+            if opponent_clock is not None and opponent_clock.compare(clock) == BEFORE:
                 return  # causally ordered: queue behind, no NACK
             if opponent_state.endorsed:
                 self._nack(tx_id, f"concurrent with endorsed {opponent_id} on {key}")

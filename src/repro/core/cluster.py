@@ -44,7 +44,7 @@ from repro.net.latency import LatencyModel, UniformLatency
 from repro.net.network import Network
 from repro.net.router import ChannelRouter
 from repro.net.transport import ReliableTransport
-from repro.sim.engine import SimulationEngine
+from repro.sim.engine import RUN_EXHAUSTED, SimulationEngine
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceLog
 
@@ -167,6 +167,7 @@ class Cluster:
         self.memberships: list[MembershipService] = []
         self.recovery_agents: list[RecoveryAgent] = []
         self._specs: dict[str, SpecStatus] = {}
+        self._unfinished_specs = 0
         self._spec_listeners: list[Callable[[SpecStatus], None]] = []
         self._build()
 
@@ -350,6 +351,7 @@ class Cluster:
             raise ValueError(f"spec {spec.name} already submitted")
         status = SpecStatus(spec=spec, first_submit_time=at)
         self._specs[spec.name] = status
+        self._unfinished_specs += 1
         self.engine.schedule_at(at, self._attempt, status)
 
     def add_spec_listener(self, listener: Callable[[SpecStatus], None]) -> None:
@@ -373,6 +375,7 @@ class Cluster:
         if committed:
             status.committed = True
             status.final = True
+            self._unfinished_specs -= 1
             self._notify_final(status)
             return
         status.last_outcome = tx.abort_reason
@@ -387,6 +390,7 @@ class Cluster:
             self.engine.schedule(delay, self._attempt, status)
         else:
             status.final = True
+            self._unfinished_specs -= 1
             self._notify_final(status)
 
     def _notify_final(self, status: SpecStatus) -> None:
@@ -456,7 +460,10 @@ class Cluster:
     # -- running ----------------------------------------------------------------------
 
     def all_final(self) -> bool:
-        return all(status.final for status in self._specs.values())
+        """O(1): ``run`` evaluates this after *every* event, so a scan over
+        the spec table would make the whole simulation quadratic in the
+        number of submitted transactions."""
+        return self._unfinished_specs == 0
 
     def specs_submitted(self) -> int:
         return len(self._specs)
@@ -495,9 +502,14 @@ class Cluster:
             live_stores = [r.store for r in self.replicas if r.alive]
             if replicas_converged(live_stores):
                 return
-            if self.engine.now >= max_time or self.engine.peek_time() is None:
+            if self.engine.now >= max_time:
                 return
-            self.engine.run(until=min(self.engine.now + chunk, max_time))
+            reason = self.engine.run(until=min(self.engine.now + chunk, max_time))
+            if reason == RUN_EXHAUSTED:
+                # Truly nothing pending (not merely idle until the chunk
+                # horizon): no in-flight apply can ever arrive, so further
+                # rounds cannot make progress.
+                return
 
     def run_for(self, duration: float) -> None:
         """Advance simulation time by ``duration`` without stopping early."""

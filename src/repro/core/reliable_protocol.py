@@ -73,6 +73,12 @@ class _VoteState:
 class ReliableBroadcastReplica(Replica):
     """One site running RBP."""
 
+    #: Presumed abort [Ske82]: a buffered remote write whose home has sent
+    #: neither further writes nor a commit request for this long is dropped
+    #: and its locks freed (see :meth:`_check_orphan`).  Far above any
+    #: healthy write-round latency, even with ARQ retransmissions.
+    orphan_grace = 1000.0
+
     def __init__(
         self,
         engine: SimulationEngine,
@@ -100,6 +106,10 @@ class ReliableBroadcastReplica(Replica):
         self._buffered: dict[str, dict[str, Any]] = {}
         self._finished: set[str] = set()
         self._votes: dict[str, _VoteState] = {}
+        # Remote-homed buffered transactions: who homes them, and when we
+        # last heard a write for them (drives the presumed-abort watchdog).
+        self._write_homes: dict[str, int] = {}
+        self._write_seen: dict[str, float] = {}
         # Home-side only: in-flight acknowledgment rounds per (tx, key),
         # and the writes not yet broadcast (sequential mode).
         self._write_round: dict[str, dict[str, _WriteRound]] = {}
@@ -188,6 +198,10 @@ class ReliableBroadcastReplica(Replica):
 
     def _on_write(self, write: RbpWrite) -> None:
         if write.tx in self._finished:
+            # Already locally aborted (abort broadcast, or the presumed-abort
+            # watchdog below): negative-ack instead of staying silent so a
+            # home that is still alive aborts rather than blocking on us.
+            self._send_ack(write, ok=False)
             return
         granted = self.locks.try_acquire(write.tx, write.key, LockMode.EXCLUSIVE)
         if not granted and self.wound_local_readers:
@@ -196,7 +210,41 @@ class ReliableBroadcastReplica(Replica):
                 granted = self.locks.try_acquire(write.tx, write.key, LockMode.EXCLUSIVE)
         if granted:
             self._buffered.setdefault(write.tx, {})[write.key] = write.value
+            if write.home != self.site:
+                self._write_homes[write.tx] = write.home
+                fresh = write.tx not in self._write_seen
+                self._write_seen[write.tx] = self.now
+                if fresh:
+                    self.engine.schedule(self.orphan_grace, self._check_orphan, write.tx)
         self._send_ack(write, ok=granted)
+
+    def _check_orphan(self, tx_id: str) -> None:
+        """Presumed-abort watchdog for a remote-homed buffered write.
+
+        A partition can strand a home site where no new view ever forms at
+        the write-holding sites (the membership coordinator is on the other
+        side), leaving its buffered writes pinning exclusive locks forever.
+        If the home has sent neither a write nor a commit request for
+        ``orphan_grace``, no site has voted for the transaction, so no site
+        can commit it: drop the buffer and free the locks.  A home that was
+        merely slow gets a negative ack / no vote on its next message and
+        aborts-and-retries.
+        """
+        last = self._write_seen.get(tx_id)
+        if last is None or tx_id not in self._buffered:
+            self._write_seen.pop(tx_id, None)
+            return
+        state = self._votes.get(tx_id)
+        if state is not None and state.request_seen:
+            # 2PC reached this site; the vote/decision path owns the state.
+            self._write_seen.pop(tx_id, None)
+            return
+        due = last + self.orphan_grace
+        if self.now < due - 1e-9:
+            self.engine.schedule(due - self.now, self._check_orphan, tx_id)
+            return
+        self.trace.emit(self.now, self.name, "rbp.presume_abort", tx=tx_id)
+        self._purge(tx_id)
 
     def _wound_local_holders(self, write: RbpWrite) -> bool:
         """Wound-wait flavour (ablation E10): instead of negative-acking the
@@ -230,6 +278,10 @@ class ReliableBroadcastReplica(Replica):
 
     def _on_commit_request(self, request: RbpCommitRequest) -> None:
         if request.tx in self._finished:
+            # Locally aborted already (an abort raced the request, or the
+            # presumed-abort watchdog fired): vote no so the home learns to
+            # abort instead of waiting for a vote that will never arrive.
+            self.rbcast.broadcast(RbpVote(request.tx, self.site, False))
             return
         state = self._votes.setdefault(request.tx, _VoteState(request.home))
         state.request_seen = True
@@ -252,6 +304,13 @@ class ReliableBroadcastReplica(Replica):
         state = self._votes.get(tx_id)
         if state is None or state.decided or not state.request_seen:
             return
+        if not self.has_quorum:
+            # A minority view must never decide: unanimity over a quorumless
+            # member set can "commit" a transaction the majority side then
+            # contradicts (and silently undoes at the healing state
+            # transfer).  Our own transactions are aborted by the view
+            # change; remote state waits for the home or the orphan watchdog.
+            return
         members = set(self.view_members)
         if not members <= set(state.votes):
             return
@@ -270,6 +329,8 @@ class ReliableBroadcastReplica(Replica):
         installed = self.install_writes(tx_id, writes)
         self.locks.release_all(tx_id)
         self._votes.pop(tx_id, None)
+        self._write_homes.pop(tx_id, None)
+        self._write_seen.pop(tx_id, None)
         if state.home == self.site:
             tx = self.local.get(tx_id)
             if tx is not None:
@@ -282,6 +343,8 @@ class ReliableBroadcastReplica(Replica):
         self._finished.add(tx_id)
         self._buffered.pop(tx_id, None)
         self._votes.pop(tx_id, None)
+        self._write_homes.pop(tx_id, None)
+        self._write_seen.pop(tx_id, None)
         self.locks.release_all(tx_id)
         tx = self.local.get(tx_id)
         if tx is not None and not tx.terminal:
@@ -306,12 +369,22 @@ class ReliableBroadcastReplica(Replica):
         self._votes.clear()
         self._write_round.clear()
         self._write_queue.clear()
+        self._write_homes.clear()
+        self._write_seen.clear()
 
     # -- view changes ----------------------------------------------------------------
 
     def on_view_change(self, members: list[int], has_quorum: bool) -> None:
         super().on_view_change(members, has_quorum)
         member_set = set(members)
+        if not has_quorum:
+            # Minority view: our in-flight updates can never be decided here
+            # (see _check_votes) and submit() refuses new ones.  Abort them
+            # now so clients get a final NO_QUORUM outcome instead of
+            # waiting on a heal that may never come.
+            for tx in [t for t in self.local.values() if not t.read_only]:
+                if not tx.terminal:
+                    self._abort_everywhere(tx, AbortReason.NO_QUORUM)
         # Write rounds: acks are now needed only from surviving members.
         for tx_id, rounds in list(self._write_round.items()):
             tx = self.local.get(tx_id)
@@ -336,7 +409,10 @@ class ReliableBroadcastReplica(Replica):
             self._maybe_drop_orphan(tx_id, member_set)
 
     def _maybe_drop_orphan(self, tx_id: str, member_set: set[int]) -> None:
-        # tx ids do not encode the home site, so orphan detection relies on
-        # vote state; without it we keep the buffer (harmless) until an
-        # abort or commit arrives.  Hook kept separate for testability.
-        del tx_id, member_set
+        """Drop a buffered write whose home left the view before 2PC began:
+        this site never voted for it, so no view containing this site can
+        have committed it."""
+        home = self._write_homes.get(tx_id)
+        if home is not None and home not in member_set:
+            self.trace.emit(self.now, self.name, "rbp.drop_orphan", tx=tx_id)
+            self._purge(tx_id)

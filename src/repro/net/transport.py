@@ -26,7 +26,7 @@ from repro.net.network import Datagram, Network
 from repro.sim.engine import EventHandle, SimulationEngine
 
 
-@dataclass
+@dataclass(slots=True)
 class Frame:
     """ARQ data frame wrapping one upper-layer payload."""
 
@@ -35,7 +35,7 @@ class Frame:
     kind: str
 
 
-@dataclass
+@dataclass(slots=True)
 class AckFrame:
     """Cumulative acknowledgment: everything below ``next_expected`` arrived."""
 
@@ -47,7 +47,12 @@ class AckFrame:
 class _LinkSendState:
     next_seq: int = 0
     unacked: dict[int, Frame] = field(default_factory=dict)
+    #: Reusable timer slot (see SimulationEngine.reschedule): the handle is
+    #: kept across re-arms instead of cancel+push per ack/send cycle.
     retransmit_timer: Optional[EventHandle] = None
+    #: Deadline the timer owes a retransmission for; None = fully acked
+    #: (the timer may still be armed but fires as a no-op and is reused).
+    retransmit_due: Optional[float] = None
 
 
 @dataclass
@@ -150,28 +155,35 @@ class ReliableTransport:
             return
         for seq in [s for s in state.unacked if s < ack.next_expected]:
             del state.unacked[seq]
-        if not state.unacked and state.retransmit_timer is not None:
-            state.retransmit_timer.cancel()
-            state.retransmit_timer = None
+        if not state.unacked:
+            # Park rather than cancel: the armed handle stays in the heap
+            # and is reused (deferred in place) by the next send, so the
+            # steady ack/send churn creates no heap garbage at all.
+            state.retransmit_due = None
 
     def _arm_retransmit(self, dst: int, state: _LinkSendState) -> None:
-        if state.retransmit_timer is not None and state.retransmit_timer.pending:
-            return
-        state.retransmit_timer = self.engine.schedule(
-            self.retransmit_interval, self._retransmit, dst
+        if state.retransmit_due is not None:
+            return  # an earlier deadline is already owed
+        state.retransmit_due = self.engine.now + self.retransmit_interval
+        state.retransmit_timer = self.engine.reschedule(
+            state.retransmit_timer, self.retransmit_interval, self._retransmit, dst
         )
 
     def _retransmit(self, dst: int) -> None:
         state = self._send_state.get(dst)
-        if state is None or not state.unacked:
-            return
+        if state is None or state.retransmit_due is None or not state.unacked:
+            return  # parked no-op: everything was acked since arming
         if not self.network.site_is_up(self.site):
+            # Re-armed by the next send after recovery (reset() clears us).
+            state.retransmit_due = None
             return
         for seq in sorted(state.unacked):
             frame = state.unacked[seq]
             self.network.send(self.site, dst, frame, frame.kind)
-        state.retransmit_timer = None
-        self._arm_retransmit(dst, state)
+        state.retransmit_due = self.engine.now + self.retransmit_interval
+        state.retransmit_timer = self.engine.reschedule(
+            state.retransmit_timer, self.retransmit_interval, self._retransmit, dst
+        )
 
     def _deliver(self, src: int, payload: Any) -> None:
         if self._receiver is None:

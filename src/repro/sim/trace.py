@@ -38,6 +38,11 @@ class TraceLog:
         self.capacity = capacity
         self.records: list[TraceRecord] = []
         self.counts: Counter[str] = Counter()
+        #: Records refused because ``capacity`` was reached.  ``counts``
+        #: keeps incrementing past the cap, so a non-zero value here is the
+        #: only sign that ``records`` is an incomplete history — consumers
+        #: (audit, timeline, tests) must check :attr:`truncated`.
+        self.dropped = 0
 
     def emit(self, time: float, source: str, kind: str, **detail: Any) -> None:
         """Record one event (cheap no-op body when disabled)."""
@@ -45,8 +50,14 @@ class TraceLog:
         if not self.enabled:
             return
         if self.capacity is not None and len(self.records) >= self.capacity:
+            self.dropped += 1
             return
         self.records.append(TraceRecord(time, source, kind, detail))
+
+    @property
+    def truncated(self) -> bool:
+        """True when at least one record was dropped at capacity."""
+        return self.dropped > 0
 
     def filter(
         self,
@@ -83,6 +94,7 @@ class TraceLog:
     def clear(self) -> None:
         self.records.clear()
         self.counts.clear()
+        self.dropped = 0
 
     def __len__(self) -> int:
         return len(self.records)

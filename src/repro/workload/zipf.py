@@ -35,16 +35,29 @@ class ZipfSampler:
         return bisect.bisect_left(self._cdf, point)
 
     def sample_distinct(self, rng: random.Random, count: int) -> list[int]:
-        """``count`` distinct ranks (rejection sampling; count <= n)."""
+        """``count`` distinct ranks, **in sampled order**, on both paths.
+
+        Callers slice the result positionally (the workload generator takes
+        the first ``write_ops`` as the write set, which in turn fixes lock
+        acquisition order), so the order contract must not depend on which
+        sampling strategy ran: ranks come back in the order they were first
+        drawn.  Historically the rejection path returned ``sorted(chosen)``
+        while the shuffle fallback returned shuffle order, silently changing
+        conflict shapes with the count/n ratio.
+        """
         if count > self.n:
             raise ValueError(f"cannot sample {count} distinct from {self.n}")
-        chosen: set[int] = set()
         # Rejection sampling is fine for count << n; fall back to a shuffle
         # when the request covers most of the space.
         if count * 3 >= self.n:
             ranks = list(range(self.n))
             rng.shuffle(ranks)
             return ranks[:count]
+        chosen: list[int] = []
+        seen: set[int] = set()
         while len(chosen) < count:
-            chosen.add(self.sample(rng))
-        return sorted(chosen)
+            rank = self.sample(rng)
+            if rank not in seen:
+                seen.add(rank)
+                chosen.append(rank)
+        return chosen

@@ -69,6 +69,18 @@ def test_audit_detects_divergence():
     assert any(f.category == "convergence" for f in findings)
 
 
+def test_audit_flags_truncated_trace():
+    cluster = run_clean_cluster("rbp", trace=True)
+    assert not cluster.trace.truncated
+    assert audit_cluster(cluster) == []
+    cluster.trace.capacity = len(cluster.trace)
+    cluster.trace.emit(0.0, "auditor-test", "overflow")
+    findings = audit_cluster(cluster)
+    assert any(f.category == "trace-truncated" for f in findings)
+    with pytest.raises(AssertionError, match="trace-truncated"):
+        assert_clean(cluster)
+
+
 def test_audit_flags_nonterminal_locals():
     from repro.core.transaction import Transaction
 

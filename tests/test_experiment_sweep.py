@@ -68,6 +68,57 @@ def test_progress_callback():
     assert any("p2 @ 4" in line for line in lines)
 
 
+def _cluster_scenario(protocol, parameter, seed):
+    """A real (tiny) cluster run per cell; module-level so it pickles for
+    the process-pool path."""
+    from repro.core.cluster import Cluster, ClusterConfig
+    from repro.workload import WorkloadConfig
+    from repro.workload.runner import run_standard_mix
+
+    cluster = Cluster(
+        ClusterConfig(protocol=protocol, num_sites=parameter, num_objects=12, seed=seed)
+    )
+    result = run_standard_mix(
+        cluster,
+        WorkloadConfig(num_objects=12, num_sites=parameter, read_ops=1, write_ops=1),
+        transactions=8,
+        mpl=2,
+    )
+    assert result.ok
+    return {
+        "commits": float(result.committed_specs),
+        "messages": float(result.network_stats["sent"]),
+        "p50 latency (ms)": result.metrics.commit_latency(read_only=False).p50,
+    }
+
+
+def test_parallel_run_is_bit_identical_to_serial():
+    serial = make_sweep(seeds=(0, 10)).run(jobs=1)
+    parallel = make_sweep(seeds=(0, 10)).run(jobs=2)
+    assert parallel.points == serial.points
+
+
+def test_parallel_cluster_sweep_matches_serial():
+    """Full-stack bit-identity: real simulations fanned across processes
+    must aggregate to exactly the serial result, point for point."""
+    kwargs = dict(
+        name="mini",
+        scenario=_cluster_scenario,
+        parameters=(2, 3),
+        protocols=("rbp", "abp"),
+        seeds=(0,),
+    )
+    serial = ExperimentSweep(**kwargs).run()
+    parallel = ExperimentSweep(**kwargs).run(jobs=2)
+    assert parallel.points == serial.points
+
+
+def test_parallel_progress_reports_every_cell():
+    lines = []
+    make_sweep().run(progress=lines.append, jobs=2)
+    assert len(lines) == 6
+
+
 def test_cross_product():
     combos = cross_product(a=(1, 2), b=("x", "y"))
     assert len(combos) == 4

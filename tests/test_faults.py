@@ -58,6 +58,33 @@ def test_partition_heal_schedule():
     assert len(schedule.events("heal")) == 1
 
 
+def test_stranded_home_cannot_commit_in_singleton_view():
+    """Regression: a partition that isolates a transaction's home site used
+    to let it finish 2PC alone once its failure detector installed the
+    singleton view {home} — a quorumless "commit" the post-heal state
+    transfer silently undid, while the write it had buffered at the majority
+    sites pinned an exclusive lock forever (blocking every later conflicting
+    transaction).  Now the minority home aborts with NO_QUORUM and the
+    majority sites presume-abort the orphaned buffered write."""
+    cluster = fault_cluster(
+        num_sites=4, seed=5, max_attempts=30, retry_backoff=10.0
+    )
+    FaultSchedule(cluster).partition([[0], [1, 2, 3]], at=50.0).heal(at=450.0)
+    # Both transactions write the same key; T0's home (site 0) is stranded
+    # alone mid-write-round, T1 waits on the lock T0's write buffered.
+    cluster.submit(spec("T0", 0, "x0", 0), at=48.0)
+    cluster.submit(spec("T1", 1, "x0", 1), at=49.0)
+    result = cluster.run(max_time=300_000.0, stop_when=cluster.await_specs(2))
+    assert result.serialization.ok
+    assert result.converged
+    assert result.incomplete_specs == 0
+    t0 = cluster.spec_status("T0")
+    assert t0.final and not t0.committed
+    assert t0.last_outcome is AbortReason.NO_QUORUM
+    t1 = cluster.spec_status("T1")
+    assert t1.final and t1.committed
+
+
 def test_flaky_links_require_arq():
     cluster = fault_cluster(loss_rate=0.0, enable_failure_detector=False)
     with pytest.raises(ValueError):

@@ -1,0 +1,90 @@
+"""Tests for the perf-regression harness (analysis.perf + bench_report)."""
+
+import pytest
+
+from repro.analysis import perf
+
+
+def test_quick_suite_runs_and_round_trips(tmp_path):
+    results = perf.run_suite(quick=True)
+    assert [r.name for r in results] == [
+        "engine_churn",
+        "vector_clock_compare",
+        "e1_message_cost_cbp",
+        "e5_throughput_abp",
+    ]
+    for result in results:
+        assert result.ops > 0
+        assert result.wall_s > 0
+        assert result.ops_per_sec > 0
+    report = perf.to_report(results, quick=True)
+    assert report["schema"] == perf.SCHEMA_VERSION
+    assert report["quick"] is True
+    path = tmp_path / "BENCH_1.json"
+    perf.write_report(path, report)
+    assert perf.load_report(path) == report
+    rendered = perf.render_results(results)
+    assert "engine_churn" in rendered and "e5_throughput_abp" in rendered
+
+
+def test_engine_churn_reports_compaction_metrics():
+    result = perf.bench_engine_churn(timers=2_000)
+    assert result.unit == "events"
+    assert result.metrics["compactions"] >= 1
+    assert result.metrics["final_heap"] <= result.metrics["timers_armed"]
+
+
+def test_macro_benchmarks_are_deterministic():
+    a = perf.bench_e5_representative(quick=True)
+    b = perf.bench_e5_representative(quick=True)
+    assert a.ops == b.ops  # same seed, same event count — only wall_s varies
+    assert a.metrics["committed"] == b.metrics["committed"]
+    assert a.metrics["messages"] == b.metrics["messages"]
+
+
+def _report(quick, ops_per_sec):
+    return {
+        "schema": perf.SCHEMA_VERSION,
+        "quick": quick,
+        "benchmarks": {
+            "x": {"ops_per_sec": ops_per_sec, "unit": "events"},
+        },
+    }
+
+
+def test_compare_reports_flags_only_out_of_tolerance_drops():
+    base = _report(False, 1000.0)
+    assert perf.compare_reports(base, _report(False, 700.0), tolerance=0.35) == []
+    assert perf.compare_reports(base, _report(False, 650.0), tolerance=0.35) == []
+    regressions = perf.compare_reports(base, _report(False, 600.0), tolerance=0.35)
+    assert len(regressions) == 1 and "x" in regressions[0]
+    # Improvements and new benchmarks never flag.
+    assert perf.compare_reports(base, _report(False, 5000.0)) == []
+    assert perf.compare_reports(_report(False, 0.0), _report(False, 1.0)) == []
+
+
+def test_compare_reports_skips_mode_mismatch():
+    assert perf.compare_reports(_report(True, 1e9), _report(False, 1.0)) == []
+
+
+def test_bench_path_sequencing(tmp_path):
+    assert perf.bench_paths(tmp_path) == []
+    assert perf.next_bench_path(tmp_path).name == "BENCH_1.json"
+    for n in (1, 3, 10):
+        (tmp_path / f"BENCH_{n}.json").write_text("{}")
+    (tmp_path / "BENCH_notes.txt").write_text("ignored")
+    assert [p.name for p in perf.bench_paths(tmp_path)] == [
+        "BENCH_1.json",
+        "BENCH_3.json",
+        "BENCH_10.json",
+    ]
+    assert perf.next_bench_path(tmp_path).name == "BENCH_11.json"
+
+
+def test_macro_benchmark_asserts_invariants():
+    """The macro timings double as invariant checks: a run that commits
+    nothing would produce a meaningless ops number."""
+    result = perf.bench_e1_representative(quick=True)
+    assert result.metrics["committed"] > 0
+    assert "latency_p50_ms" in result.metrics
+    assert result.metrics["latency_p50_ms"] <= result.metrics["latency_p95_ms"]

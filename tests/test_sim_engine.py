@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.sim.engine import SimulationEngine, SimulationError
+from repro.sim.engine import (
+    RUN_BUDGET,
+    RUN_EXHAUSTED,
+    RUN_HORIZON,
+    RUN_PREDICATE,
+    RUN_STOPPED,
+    SimulationEngine,
+    SimulationError,
+)
 
 
 def test_events_fire_in_time_order(engine):
@@ -138,6 +146,149 @@ def test_events_processed_counter(engine):
         engine.schedule(float(i), lambda: None)
     engine.run()
     assert engine.events_processed == 4
+
+
+def test_run_reports_stop_reason(engine):
+    engine.schedule(1.0, lambda: None)
+    engine.schedule(50.0, lambda: None)
+    assert engine.run(until=10.0) == RUN_HORIZON  # event at 50 still queued
+    assert engine.run(until=60.0) == RUN_EXHAUSTED
+    assert engine.run(until=100.0) == RUN_EXHAUSTED  # idle to horizon
+    assert engine.now == 100.0
+
+
+def test_run_reason_distinguishes_idle_horizon_from_exhaustion(engine):
+    """peek_time() is None both when idle-until-horizon consumed everything
+    and when events remain beyond the bound; run()'s reason is the only
+    reliable discriminator."""
+    engine.schedule(5.0, lambda: None)
+    reason = engine.run(until=10.0)
+    assert reason == RUN_EXHAUSTED and engine.peek_time() is None
+    engine.schedule_at(100.0, lambda: None)
+    reason = engine.run(until=20.0)
+    assert reason == RUN_HORIZON
+    assert engine.peek_time() == 100.0
+
+
+def test_run_reason_predicate_budget_stop(engine):
+    fired = []
+    for i in range(10):
+        engine.schedule(float(i + 1), fired.append, i)
+    assert engine.run(stop_when=lambda: len(fired) >= 2) == RUN_PREDICATE
+    assert engine.run(max_events=3) == RUN_BUDGET
+    engine.schedule(0.0, engine.stop)
+    assert engine.run() == RUN_STOPPED
+
+
+def test_pending_count_is_o1_and_correct_under_churn(engine):
+    handles = [engine.schedule(float(i + 1), lambda: None) for i in range(100)]
+    for handle in handles[::2]:
+        handle.cancel()
+    assert engine.pending_count() == 50
+    handles[1].cancel()
+    handles[1].cancel()  # double cancel must not double count
+    assert engine.pending_count() == 49
+    engine.run()
+    assert engine.pending_count() == 0
+
+
+def test_compaction_bounds_heap_under_cancel_churn(engine):
+    """ARQ-style churn: arm timers, cancel nearly all before they fire.
+    Without compaction the heap holds every cancelled entry until its
+    deadline surfaces; with it, garbage stays below the compact threshold."""
+    live = []
+
+    def churn(rounds):
+        for handle in live:
+            handle.cancel()
+        live.clear()
+        if rounds <= 0:
+            return
+        for i in range(20):
+            live.append(engine.schedule(1000.0 + i, lambda: None))
+        engine.schedule(1.0, churn, rounds - 1)
+
+    engine.schedule(0.0, churn, 500)  # 10k timers armed, all cancelled
+    engine.run()
+    assert engine.compactions > 0
+    # Bounded: nowhere near the 10k cancelled entries, and pending is clean.
+    assert engine.heap_size() <= 2 * engine.compact_min
+    assert engine.pending_count() == 0
+
+
+def _trace_run(engine):
+    """A mixed schedule/cancel workload recording (time, tag) firings."""
+    fired = []
+
+    def work(round_no, cancel_these):
+        for handle in cancel_these:
+            handle.cancel()
+        fired.append((engine.now, round_no))
+        if round_no >= 40:
+            return
+        doomed = [
+            engine.schedule(5.0 + (round_no * 7 + k) % 11, lambda: None)
+            for k in range(6)
+        ]
+        engine.schedule(1.0 + (round_no % 3) * 0.5, work, round_no + 1, doomed)
+        engine.schedule(0.25, fired.append, (engine.now, f"tick{round_no}"))
+
+    engine.schedule(0.0, work, 0, [])
+    engine.run()
+    return fired
+
+
+def test_compaction_is_invisible_to_event_ordering():
+    """The same workload with compaction enabled and disabled must fire the
+    same events at the same times in the same order."""
+    compacting = SimulationEngine()
+    compacting.compact_min = 4  # compact aggressively
+    plain = SimulationEngine()
+    plain.compact_min = 10**9  # never compact
+    trace_a = _trace_run(compacting)
+    trace_b = _trace_run(plain)
+    assert trace_a == trace_b
+    assert compacting.compactions > 0
+    assert plain.compactions == 0
+
+
+def test_reschedule_defers_pending_timer_in_place(engine):
+    fired = []
+    handle = engine.schedule(5.0, fired.append, "early")
+    heap_before = engine.heap_size()
+    again = engine.reschedule(handle, 9.0, fired.append, "late")
+    assert again is handle  # reused, not reallocated
+    assert engine.heap_size() == heap_before  # no extra heap entry
+    engine.run()
+    assert fired == ["late"]
+    assert engine.now == 9.0
+
+
+def test_reschedule_fresh_when_dead_or_earlier(engine):
+    fired = []
+    # None / fired / cancelled handles fall back to a fresh schedule.
+    handle = engine.reschedule(None, 1.0, fired.append, "a")
+    engine.run()
+    assert fired == ["a"]
+    replacement = engine.reschedule(handle, 1.0, fired.append, "b")
+    assert replacement is not handle
+    # An earlier deadline cannot reuse the heap position: cancel + push.
+    final = engine.reschedule(replacement, 0.5, fired.append, "c")
+    assert final is not replacement and not replacement.pending
+    engine.run()
+    assert fired == ["a", "c"]
+
+
+def test_reschedule_deferred_timer_tiebreak_is_deterministic(engine):
+    """A deferred timer is re-sorted with a fresh sequence number when its
+    old position surfaces, so at an exactly shared deadline it fires after
+    events that were directly scheduled there — deterministically."""
+    fired = []
+    handle = engine.schedule(2.0, fired.append, "timer")
+    engine.reschedule(handle, 6.0, fired.append, "timer")
+    engine.schedule(6.0, fired.append, "other")
+    engine.run()
+    assert fired == ["other", "timer"]
 
 
 def test_zero_delay_event_runs_after_current(engine):

@@ -30,6 +30,25 @@ def test_capacity_bound():
     assert log.count("k") == 5
 
 
+def test_capacity_drops_are_counted():
+    log = TraceLog(capacity=2)
+    assert not log.truncated
+    for i in range(5):
+        log.emit(float(i), "s", "k")
+    assert log.dropped == 3
+    assert log.truncated
+    assert len(log) == 2
+    assert log.count("k") == 5  # counters keep going past the cap
+
+
+def test_disabled_log_drops_nothing():
+    log = TraceLog(enabled=False, capacity=1)
+    for i in range(3):
+        log.emit(float(i), "s", "k")
+    assert log.dropped == 0
+    assert not log.truncated
+
+
 def test_dump_renders_every_record():
     log = TraceLog()
     log.emit(1.0, "site0", "tx.commit", tx="T1")
@@ -38,8 +57,11 @@ def test_dump_renders_every_record():
 
 
 def test_clear():
-    log = TraceLog()
+    log = TraceLog(capacity=1)
     log.emit(1.0, "s", "k")
+    log.emit(2.0, "s", "k")
+    assert log.truncated
     log.clear()
     assert len(log) == 0
     assert log.count("k") == 0
+    assert log.dropped == 0 and not log.truncated

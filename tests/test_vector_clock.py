@@ -1,8 +1,16 @@
 """Unit tests for vector clocks."""
 
+import itertools
+
 import pytest
 
-from repro.broadcast.vector_clock import VectorClock
+from repro.broadcast.vector_clock import (
+    AFTER,
+    BEFORE,
+    CONCURRENT,
+    EQUAL,
+    VectorClock,
+)
 
 
 def test_zero_clock():
@@ -80,6 +88,34 @@ def test_dominates_entry():
     assert vc.dominates_entry(1, 3)
     assert not vc.dominates_entry(1, 6)
     assert vc.dominates_entry(0, 0)
+
+
+def test_compare_four_outcomes():
+    a = VectorClock([1, 0])
+    b = VectorClock([1, 1])
+    assert a.compare(b) == BEFORE
+    assert b.compare(a) == AFTER
+    assert a.compare(VectorClock([1, 0])) == EQUAL
+    assert a.compare(VectorClock([0, 1])) == CONCURRENT
+
+
+def test_compare_agrees_with_operators():
+    """The fused compare() must classify every pair exactly as the rich
+    comparisons do (exhaustive over all 3-site clocks with entries < 3)."""
+    clocks = [VectorClock(list(v)) for v in itertools.product(range(3), repeat=3)]
+    for a in clocks:
+        for b in clocks:
+            verdict = a.compare(b)
+            assert (verdict == BEFORE) == (a < b)
+            assert (verdict == AFTER) == (b < a)
+            assert (verdict == EQUAL) == (a == b)
+            assert (verdict == CONCURRENT) == a.concurrent_with(b)
+            assert (verdict in (BEFORE, EQUAL)) == (a <= b)
+
+
+def test_compare_size_mismatch_rejected():
+    with pytest.raises(ValueError):
+        VectorClock([1]).compare(VectorClock([1, 2]))
 
 
 def test_copy_is_independent():

@@ -50,6 +50,41 @@ def test_sample_distinct_too_many_rejected(rng):
         sampler.sample_distinct(rng, 4)
 
 
+def test_sample_distinct_sampled_order_on_rejection_path():
+    """count * 3 < n takes rejection sampling: ranks must come back in the
+    order they were first drawn (regression: this path used to sort them)."""
+    sampler = ZipfSampler(30, theta=0.8)
+    picks = sampler.sample_distinct(random.Random(123), 5)
+    replay = random.Random(123)
+    expected, seen = [], set()
+    while len(expected) < 5:
+        rank = sampler.sample(replay)
+        if rank not in seen:
+            seen.add(rank)
+            expected.append(rank)
+    assert picks == expected
+
+
+def test_sample_distinct_sampled_order_on_shuffle_path():
+    """count * 3 >= n takes the shuffle fallback: shuffle order, unsorted."""
+    sampler = ZipfSampler(10, theta=0.8)
+    picks = sampler.sample_distinct(random.Random(123), 4)
+    replay = random.Random(123)
+    ranks = list(range(10))
+    replay.shuffle(ranks)
+    assert picks == ranks[:4]
+
+
+def test_sample_distinct_is_not_sorted():
+    """The historical bug returned sorted ranks from the rejection path,
+    silently reordering write sets (and thus lock acquisition order)."""
+    sampler = ZipfSampler(40, theta=1.0)
+    assert any(
+        (picks := sampler.sample_distinct(random.Random(seed), 6)) != sorted(picks)
+        for seed in range(20)
+    )
+
+
 def test_invalid_params_rejected():
     with pytest.raises(ValueError):
         ZipfSampler(0)
