@@ -124,6 +124,8 @@ def _audit_protocol_state(replica) -> list[Finding]:
         "_write_queue": "unsent writes",
         "_votes": "open vote tallies",
         "_write_seen": "live orphan watchdogs",
+        "_queries": "open decision queries",
+        "_query_waiters": "unserved decision-query waiters",
         "_states": "pending commit states",
         "_shipped": "undelivered shipped write sets",
     }

@@ -48,6 +48,17 @@ class MetricsCollector:
     aborts_by_reason: Counter = field(default_factory=Counter)
     deadlocks_detected: int = 0
     local_reader_preemptions: int = 0
+    # RBP in-doubt termination (decision queries; see PROTOCOLS.md).
+    rbp_in_doubt: int = 0
+    rbp_in_doubt_waits: int = 0
+    rbp_decision_queries: int = 0
+    rbp_decision_answers: int = 0
+    rbp_resolved_by_query_commit: int = 0
+    rbp_resolved_by_query_abort: int = 0
+    rbp_resolved_by_presumption: int = 0
+    # Home-side write-phase watchdog firings (stalled ack round aborted
+    # retryably; see ReliableBroadcastReplica.write_grace).
+    rbp_write_timeouts: int = 0
 
     def tx_committed(self, tx: Transaction, end_time: float) -> None:
         self.outcomes.append(

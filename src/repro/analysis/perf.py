@@ -219,6 +219,95 @@ def bench_e5_representative(quick: bool = False) -> BenchResult:
     )
 
 
+def bench_e9_representative(quick: bool = False) -> BenchResult:
+    """E9's shape: RBP riding through a crash/recover and a partition/heal
+    under a closed-loop workload, with the failure detector driving view
+    changes and decision queries terminating the in-doubt cohorts.
+
+    Beyond events/sec, the report embeds the termination counters and the
+    update commit-latency tail: a blocked-transaction tail (a cohort pinned
+    on an outcome it cannot learn) would surface as unanswered clients —
+    asserted to be zero — or a latency-p95 cliff in the trajectory.
+    """
+    from repro.core.cluster import Cluster, ClusterConfig
+    from repro.sim.faults import FaultSchedule
+    from repro.workload.generator import WorkloadConfig
+    from repro.workload.runner import ClosedLoopRunner
+
+    transactions = 24 if quick else 96
+    cluster = Cluster(
+        ClusterConfig(
+            protocol="rbp",
+            num_sites=5,
+            num_objects=64,
+            seed=97,
+            enable_failure_detector=True,
+            fd_interval=20.0,
+            fd_timeout=80.0,
+            relay=True,
+            max_attempts=40,
+            retry_backoff=5.0,
+        )
+    )
+    # The think time stretches the workload across the fault timeline: a
+    # crash/recover of site 4 early on, then a transient partition aimed
+    # into an active 2PC window, with the home crashing inside the split.
+    runner = ClosedLoopRunner(
+        cluster,
+        WorkloadConfig(
+            num_objects=64, num_sites=5, read_ops=2, write_ops=2, zipf_theta=0.2
+        ),
+        mpl=4,
+        transactions=transactions,
+        think_time=60.0,
+    )
+    # The cut at t=1108 lands between a site-4-homed transaction's commit
+    # request and its votes (under seed 97): the cohort caught on the home's
+    # side prepares but its vote reaches nobody, and the home then crashes
+    # undecided — so the full-mode run exercises in-doubt entry, decision
+    # queries, and the presumed-abort fallback, not just clean failover.
+    # The heal at t=1148 is shorter than fd_timeout, which also strands a
+    # few mid-write-round acks: the write-phase watchdog must retire those
+    # retryably (rbp_write_timeouts below) or clients block forever.
+    FaultSchedule(cluster).crash(4, at=300.0).recover(4, at=900.0).partition(
+        [[2, 4], [0, 1, 3]], at=1108.0
+    ).heal(at=1148.0).crash(4, at=1111.0).recover(4, at=1600.0)
+    started = time.perf_counter()
+    runner.start()
+    # Think time opens all-final lulls between submissions; stop only once
+    # every planned transaction has been submitted and answered.
+    result = cluster.run(
+        max_time=5_000_000.0, stop_when=cluster.await_specs(transactions)
+    )
+    wall = time.perf_counter() - started
+    assert result.serialization.ok, result.serialization.explain()
+    assert result.converged, "replicas diverged"
+    assert result.incomplete_specs == 0, "blocked-transaction tail: unanswered clients"
+    latency = result.metrics.commit_latency(read_only=False)
+    m = result.metrics
+    metrics = {
+        "committed": float(result.committed_specs),
+        "failed": float(result.failed_specs),
+        "sim_duration_ms": result.duration,
+        "messages": float(result.network_stats["sent"]),
+        "rbp_in_doubt": float(m.rbp_in_doubt),
+        "rbp_decision_queries": float(m.rbp_decision_queries),
+        "rbp_resolved_by_query_commit": float(m.rbp_resolved_by_query_commit),
+        "rbp_resolved_by_presumption": float(m.rbp_resolved_by_presumption),
+        "rbp_write_timeouts": float(m.rbp_write_timeouts),
+    }
+    if latency.count:
+        metrics["latency_p50_ms"] = latency.p50
+        metrics["latency_p95_ms"] = latency.p95
+    return BenchResult(
+        name="e9_failover_rbp",
+        wall_s=wall,
+        ops=cluster.engine.events_processed,
+        unit="events",
+        metrics=metrics,
+    )
+
+
 # -- suite / report -----------------------------------------------------------
 
 
@@ -230,6 +319,7 @@ def run_suite(quick: bool = False) -> list[BenchResult]:
         bench_vector_clock(quick=quick),
         bench_e1_representative(quick=quick),
         bench_e5_representative(quick=quick),
+        bench_e9_representative(quick=quick),
     ]
 
 

@@ -17,7 +17,7 @@ import sys
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.net.sizes import OBJECT_OVERHEAD
+from repro.net.sizes import OBJECT_OVERHEAD, estimate_size
 
 
 @dataclass(frozen=True, order=True, slots=True)
@@ -61,6 +61,18 @@ class BroadcastMessage:
     @property
     def seq(self) -> int:
         return self.id.seq
+
+    def __wire_size__(self) -> int:
+        # Envelope fast path: the id is fixed-shape and the kind string is
+        # interned (so its UTF-8 length memoizes on first sight).  Byte-
+        # identical to the generic __slots__ traversal over (id, payload,
+        # kind) — the shortcut skips the per-field getattr dispatch only.
+        return (
+            OBJECT_OVERHEAD
+            + self.id.__wire_size__()
+            + estimate_size(self.payload)
+            + estimate_size(self.kind)
+        )
 
     def __str__(self) -> str:
         return f"{self.id}[{self.kind}]"

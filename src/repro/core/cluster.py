@@ -77,6 +77,9 @@ class ClusterConfig:
     # RBP knobs.
     rbp_wound_local_readers: bool = False
     rbp_pipeline_writes: bool = False
+    rbp_decision_query_timeout: float = 60.0
+    rbp_decision_query_attempts: int = 8
+    rbp_decision_log_capacity: int = 1024
     # CBP knobs.
     cbp_heartbeat: Optional[float] = 25.0
     cbp_per_op: bool = False
@@ -230,6 +233,9 @@ class Cluster:
                 router=router,
                 wound_local_readers=config.rbp_wound_local_readers,
                 pipeline_writes=config.rbp_pipeline_writes,
+                decision_query_timeout=config.rbp_decision_query_timeout,
+                decision_query_attempts=config.rbp_decision_query_attempts,
+                decision_log_capacity=config.rbp_decision_log_capacity,
             )
         if config.protocol == "cbp":
             causal = CausalBroadcast(reliable)
@@ -279,6 +285,8 @@ class Cluster:
                 state["causal_clock"] = list(self.causals[site].clock)
             if self.totals:
                 state["total_order_state"] = self.totals[site].export_order_state()
+            if isinstance(replica, ReliableBroadcastReplica):
+                state["decision_log"] = replica.export_decision_log()
             return state
 
         def apply(state: dict) -> None:
@@ -290,6 +298,9 @@ class Cluster:
                 self.totals[site].fast_forward(order_state)
                 if isinstance(replica, AtomicBroadcastReplica):
                     replica.fast_forward_order(order_state["next_delivery_index"])
+            decision_log = state.get("decision_log")
+            if decision_log is not None and isinstance(replica, ReliableBroadcastReplica):
+                replica.adopt_decision_log(decision_log)
 
         agent.fast_forward.export = export
         agent.fast_forward.apply = apply
@@ -342,6 +353,17 @@ class Cluster:
             self.trace.emit(
                 self.engine.now, f"site{site}", "recovery.state_transfer", donor=donor.site
             )
+        if isinstance(replica, ReliableBroadcastReplica) and isinstance(
+            donor, ReliableBroadcastReplica
+        ):
+            # The snapshot (when one was needed) already reflects the
+            # donor's decided transactions; the log lets this site discharge
+            # residual in-doubt state — including a parked transaction of
+            # its own the majority decided without it — and answer decision
+            # queries for them.  Worth adopting even when the stores already
+            # agree: an all-aborted epoch leaves digests equal but in-doubt
+            # state standing.
+            replica.adopt_decision_log(donor.export_decision_log())
 
     # -- client API ------------------------------------------------------------------
 

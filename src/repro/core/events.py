@@ -63,6 +63,36 @@ class RbpAbort:
     kind: str = "rbp.abort"
 
 
+@dataclass
+class RbpDecisionQuery:
+    """Termination protocol: an in-doubt cohort (voted yes, home departed
+    from the view) asks the surviving members for the transaction's fate."""
+
+    tx: str
+    site: int
+    attempt: int
+    kind: str = "rbp.decision_query"
+
+
+@dataclass
+class RbpDecisionAnswer:
+    """Point-to-point answer to a decision query.
+
+    ``outcome`` is one of:
+
+    - ``"commit"`` / ``"abort"``: authoritative, from the decision log;
+    - ``"pending"``: the answerer can still decide (live 2PC state) and
+      promises to push the outcome to the querier when it does;
+    - ``"presumed"``: the answerer presumed abort (never authoritative);
+    - ``"unknown"``: the answerer has no state for the transaction.
+    """
+
+    tx: str
+    site: int
+    outcome: str
+    kind: str = "rbp.decision_answer"
+
+
 # -- CBP: causal broadcast with implicit acknowledgments ----------------------
 
 

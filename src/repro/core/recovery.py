@@ -53,6 +53,9 @@ class StateTransferReply:
     objects: tuple[tuple[str, int, Any], ...]
     causal_clock: Optional[list[int]] = None
     total_order_state: Optional[dict] = None
+    #: RBP decision log (tx -> committed?) so a rejoiner can answer (and
+    #: terminate) decision queries for outcomes reached while it was down.
+    decision_log: Optional[tuple] = None
     kind: str = "recovery.reply"
 
 
@@ -130,6 +133,7 @@ class RecoveryAgent:
             objects=replica.store.export_snapshot(),
             causal_clock=state.get("causal_clock"),
             total_order_state=state.get("total_order_state"),
+            decision_log=state.get("decision_log"),
         )
         self.transfers_served += 1
         self.trace.emit(
@@ -150,6 +154,7 @@ class RecoveryAgent:
             {
                 "causal_clock": reply.causal_clock,
                 "total_order_state": reply.total_order_state,
+                "decision_log": reply.decision_log,
             }
         )
         replica.recovering = False

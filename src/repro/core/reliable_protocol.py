@@ -37,6 +37,8 @@ from repro.broadcast.reliable import ReliableBroadcast
 from repro.core.events import (
     RbpAbort,
     RbpCommitRequest,
+    RbpDecisionAnswer,
+    RbpDecisionQuery,
     RbpVote,
     RbpWrite,
     RbpWriteAck,
@@ -68,6 +70,21 @@ class _VoteState:
     votes: dict[int, bool] = field(default_factory=dict)
     request_seen: bool = False
     decided: bool = False
+    voted_yes: bool = False
+    #: Consecutive orphan-grace periods the tally spent stalled with the
+    #: home still a view member (see :meth:`_check_orphan`'s escalation).
+    stalled_waits: int = 0
+
+
+@dataclass
+class _QueryState:
+    """Querier-side state of one in-doubt decision query."""
+
+    attempt: int = 0
+    #: True while retries are exhausted or the view has no quorum; a view
+    #: change restarts a parked query against the new membership.
+    parked: bool = False
+    answers: dict[int, str] = field(default_factory=dict)
 
 
 class ReliableBroadcastReplica(Replica):
@@ -78,6 +95,14 @@ class ReliableBroadcastReplica(Replica):
     #: and its locks freed (see :meth:`_check_orphan`).  Far above any
     #: healthy write-round latency, even with ARQ retransmissions.
     orphan_grace = 1000.0
+
+    #: Home-side mirror of the orphan watchdog: a write phase still waiting
+    #: for acknowledgments after this long has lost a datagram for good (a
+    #: transient partition shorter than the detector timeout drops messages
+    #: without ever changing the view, and the passthrough transport has no
+    #: ARQ at ``loss_rate == 0``).  Abort retryably instead of blocking the
+    #: client forever (see :meth:`_check_write_progress`).
+    write_grace = 1000.0
 
     def __init__(
         self,
@@ -91,6 +116,9 @@ class ReliableBroadcastReplica(Replica):
         router: ChannelRouter,
         wound_local_readers: bool = False,
         pipeline_writes: bool = False,
+        decision_query_timeout: float = 60.0,
+        decision_query_attempts: int = 8,
+        decision_log_capacity: int = 1024,
     ):
         super().__init__(engine, site, num_sites, recorder, metrics, trace)
         self.rbcast = rbcast
@@ -114,11 +142,22 @@ class ReliableBroadcastReplica(Replica):
         # and the writes not yet broadcast (sequential mode).
         self._write_round: dict[str, dict[str, _WriteRound]] = {}
         self._write_queue: dict[str, list[tuple[str, Any]]] = {}
+        # In-doubt termination (decision queries, see PROTOCOLS.md):
+        # bounded log of authoritative outcomes, open queries at this site,
+        # and remote queriers promised a push of a still-pending outcome.
+        self.decision_query_timeout = decision_query_timeout
+        self.decision_query_attempts = decision_query_attempts
+        self.decision_log_capacity = decision_log_capacity
+        self._decisions: dict[str, bool] = {}
+        self._decision_seq = 0
+        self._queries: dict[str, _QueryState] = {}
+        self._query_waiters: dict[str, set[int]] = {}
 
     # -- home side --------------------------------------------------------------
 
     def start_update(self, tx: Transaction) -> None:
         self.public.add(tx.tx_id)
+        self.engine.schedule(self.write_grace, self._check_write_progress, tx.tx_id)
         self._write_round[tx.tx_id] = {}
         if self.pipeline_writes:
             self._write_queue[tx.tx_id] = []
@@ -173,6 +212,25 @@ class ReliableBroadcastReplica(Replica):
                     del self._write_round[tx.tx_id]
             self._send_next_write(tx)
 
+    def _check_write_progress(self, tx_id: str) -> None:
+        """Write-phase watchdog (armed once per attempt at submit).
+
+        A round can stall without any view change breaking the wait: a
+        partition shorter than the detector timeout swallows the write (or
+        its ack) to a peer that stays in the view, and nothing retransmits.
+        The votes path has its own termination (view-filtered tallies and
+        decision queries), so this only covers the pre-2PC write phase —
+        give up and abort retryably, the no-wait locks make retries cheap.
+        """
+        tx = self.local.get(tx_id)
+        if tx is None or tx.terminal:
+            return
+        if not (self._write_round.get(tx_id) or self._write_queue.get(tx_id)):
+            return  # write phase finished; 2PC owns termination now
+        self.metrics.rbp_write_timeouts += 1
+        self.trace.emit(self.now, self.name, "rbp.write_timeout", tx=tx_id)
+        self._abort_everywhere(tx, AbortReason.VIEW_LOSS)
+
     def _abort_everywhere(self, tx: Transaction, reason: AbortReason) -> None:
         self._write_round.pop(tx.tx_id, None)
         self._write_queue.pop(tx.tx_id, None)
@@ -192,7 +250,11 @@ class ReliableBroadcastReplica(Replica):
         elif isinstance(payload, RbpVote):
             self._on_vote(payload)
         elif isinstance(payload, RbpAbort):
+            # Initiator-driven: an authoritative outcome, not a presumption.
+            self._record_decision(payload.tx, committed=False)
             self._purge(payload.tx)
+        elif isinstance(payload, RbpDecisionQuery):
+            self._on_query(payload)
         else:
             raise RuntimeError(f"site {self.site}: unexpected RBP payload {payload!r}")
 
@@ -237,7 +299,36 @@ class ReliableBroadcastReplica(Replica):
         state = self._votes.get(tx_id)
         if state is not None and state.request_seen:
             # 2PC reached this site; the vote/decision path owns the state.
-            self._write_seen.pop(tx_id, None)
+            if state.decided or tx_id in self._queries:
+                self._write_seen.pop(tx_id, None)
+                return
+            if state.home not in self.view_members:
+                # The home departed before the tally completed.  A YES vote
+                # makes us in-doubt (the survivors may know the outcome);
+                # without one, no site can have committed: presume abort.
+                self._write_seen.pop(tx_id, None)
+                if state.voted_yes and self.has_quorum and tx_id not in self.local:
+                    self._enter_in_doubt(tx_id)
+                else:
+                    self.trace.emit(self.now, self.name, "rbp.presume_abort", tx=tx_id)
+                    self._purge(tx_id)
+                return
+            # The home is still a member, so the vote path owns the wait —
+            # make it observable, and keep watching: a partition the failure
+            # detector never turns into a view change can have dropped the
+            # missing votes for good (the transport only retransmits on
+            # lossy links).  After a second full grace period with the tally
+            # still stalled, stop waiting and ask.
+            self.metrics.rbp_in_doubt_waits += 1
+            self.trace.emit(
+                self.now, self.name, "rbp.in_doubt_wait", tx=tx_id, home=state.home
+            )
+            if state.voted_yes and state.stalled_waits:
+                self._write_seen.pop(tx_id, None)
+                self._enter_in_doubt(tx_id)
+                return
+            state.stalled_waits += 1
+            self.engine.schedule(self.orphan_grace, self._check_orphan, tx_id)
             return
         due = last + self.orphan_grace
         if self.now < due - 1e-9:
@@ -277,6 +368,13 @@ class ReliableBroadcastReplica(Replica):
             self.router.send(write.home, DIRECT_CHANNEL, ack, ack.kind)
 
     def _on_commit_request(self, request: RbpCommitRequest) -> None:
+        decided = self._decisions.get(request.tx)
+        if decided is not None:
+            # The outcome is already logged here (a duplicate or delayed
+            # request): re-broadcast the decided vote so a still-tallying
+            # site converges, but do not reopen any local state.
+            self.rbcast.broadcast(RbpVote(request.tx, self.site, decided))
+            return
         if request.tx in self._finished:
             # Locally aborted already (an abort raced the request, or the
             # presumed-abort watchdog fired): vote no so the home learns to
@@ -290,11 +388,16 @@ class ReliableBroadcastReplica(Replica):
         # arrived), so we hold the locks and vote yes; a site that lost the
         # transaction's state (e.g. it crashed and recovered) votes no.
         yes = request.tx in self._buffered or request.home == self.site
+        state.voted_yes = yes
         self.rbcast.broadcast(RbpVote(request.tx, self.site, yes))
         self._check_votes(request.tx)
 
     def _on_vote(self, vote: RbpVote) -> None:
-        if vote.tx in self._finished:
+        if vote.tx in self._finished or vote.tx in self._decisions:
+            # Terminated here already (committed via votes or an adopted
+            # decision, or aborted).  A straggler vote — e.g. one that
+            # crawled over a slow link after a decision query resolved the
+            # transaction — must not re-open a tally.
             return
         state = self._votes.setdefault(vote.tx, _VoteState(home=-1))
         state.votes[vote.site] = vote.yes
@@ -303,6 +406,11 @@ class ReliableBroadcastReplica(Replica):
     def _check_votes(self, tx_id: str) -> None:
         state = self._votes.get(tx_id)
         if state is None or state.decided or not state.request_seen:
+            return
+        if tx_id in self._queries:
+            # In-doubt: entering the query path renounces the vote path.
+            # Deciding here from stragglers while a query round is already
+            # collecting answers could contradict the adopted outcome.
             return
         if not self.has_quorum:
             # A minority view must never decide: unanimity over a quorumless
@@ -322,6 +430,8 @@ class ReliableBroadcastReplica(Replica):
             if tx is not None and state.home == self.site:
                 self._write_queue.pop(tx_id, None)
                 self.abort_home(tx, AbortReason.VIEW_LOSS)
+            # A quorum tally with a NO vote: an authoritative abort.
+            self._record_decision(tx_id, committed=False)
             self._purge(tx_id)
 
     def _commit_local(self, tx_id: str, state: _VoteState) -> None:
@@ -336,6 +446,39 @@ class ReliableBroadcastReplica(Replica):
             if tx is not None:
                 self._write_queue.pop(tx_id, None)
                 self.commit_home(tx, installed)
+        else:
+            # A cohort commit may be the only one the recorder ever hears
+            # about (the home can crash after casting its vote); record the
+            # installed versions so the 1SR graph keeps a writer for them.
+            # The home's full record (with the read set) upgrades this.
+            self.recorder.record_commit_provisional(
+                tx_id, self.site, installed, self.now
+            )
+        self._record_decision(tx_id, committed=True)
+        self.trace.emit(self.now, self.name, "rbp.applied", tx=tx_id)
+
+    def _commit_remote(self, tx_id: str) -> None:
+        """Adopt a commit outcome learned through a decision query: install
+        the buffered writes and release the locks, exactly as a vote-decided
+        cohort commit would."""
+        writes = self._buffered.pop(tx_id, {})
+        installed = self.install_writes(tx_id, writes)
+        self.locks.release_all(tx_id)
+        self._votes.pop(tx_id, None)
+        self._write_homes.pop(tx_id, None)
+        self._write_seen.pop(tx_id, None)
+        tx = self.local.get(tx_id)
+        if tx is not None and not tx.terminal:
+            # Our own transaction, adopted back from the survivors (home-side
+            # in-doubt: we were partitioned away mid-2PC).  The cohorts that
+            # committed recorded the authoritative versions (provisional
+            # record); our store may be behind the majority's, so pass no
+            # writes and let the recorder keep the cohort's versions.
+            self._write_queue.pop(tx_id, None)
+            self.commit_home(tx, {})
+        else:
+            self.recorder.record_commit_provisional(tx_id, self.site, installed, self.now)
+        self._record_decision(tx_id, committed=True)
         self.trace.emit(self.now, self.name, "rbp.applied", tx=tx_id)
 
     def _purge(self, tx_id: str) -> None:
@@ -345,7 +488,10 @@ class ReliableBroadcastReplica(Replica):
         self._votes.pop(tx_id, None)
         self._write_homes.pop(tx_id, None)
         self._write_seen.pop(tx_id, None)
+        self._queries.pop(tx_id, None)
         self.locks.release_all(tx_id)
+        self._notify_waiters(tx_id, "presumed")
+        self._gc_decisions()
         tx = self.local.get(tx_id)
         if tx is not None and not tx.terminal:
             # Abort broadcast raced our own bookkeeping (shouldn't happen:
@@ -353,11 +499,260 @@ class ReliableBroadcastReplica(Replica):
             self._write_queue.pop(tx_id, None)
             self.abort_home(tx, AbortReason.WRITE_CONFLICT)
 
+    # -- in-doubt termination (decision queries) -----------------------------------
+    #
+    # A cohort that voted YES holds exclusive locks it may not release until
+    # it learns the outcome; when the home departs the view mid-2PC the vote
+    # path can no longer deliver one.  The cohort then broadcasts a
+    # RbpDecisionQuery and adopts the first authoritative answer from the
+    # surviving members' decision logs, falling back to presumed abort only
+    # when every member of a majority view answers that it does not know
+    # the transaction (then nobody can have committed it).
+
+    def _record_decision(self, tx_id: str, committed: bool) -> None:
+        """Append an authoritative outcome to the bounded decision log and
+        push it to any querier we promised a pending answer."""
+        if tx_id not in self._decisions:
+            self._decisions[tx_id] = committed
+            self._decision_seq += 1
+            self._gc_decisions()
+        self._notify_waiters(tx_id, "commit" if committed else "abort")
+
+    def _gc_decisions(self) -> None:
+        """Watermark GC: evict the oldest outcomes beyond the capacity.
+        Everything below :attr:`decision_watermark` is forgotten — queries
+        about such ancient transactions get "unknown", which is safe as
+        long as in-doubt cohorts query within the retention window (they
+        do: a query starts at most one view change after the 2PC round)."""
+        while len(self._decisions) > self.decision_log_capacity:
+            del self._decisions[next(iter(self._decisions))]
+
+    @property
+    def decision_watermark(self) -> int:
+        """Number of decisions already evicted from the log."""
+        return self._decision_seq - len(self._decisions)
+
+    def _notify_waiters(self, tx_id: str, outcome: str) -> None:
+        waiters = self._query_waiters.pop(tx_id, None)
+        if not waiters:
+            return
+        for site in sorted(waiters):
+            if site == self.site:
+                continue
+            answer = RbpDecisionAnswer(tx_id, self.site, outcome)
+            self.metrics.rbp_decision_answers += 1
+            self.router.send(site, DIRECT_CHANNEL, answer, answer.kind)
+
+    def export_decision_log(self) -> tuple[tuple[str, bool], ...]:
+        """Snapshot of the decision log, for state transfer to a rejoiner."""
+        return tuple(self._decisions.items())
+
+    def adopt_decision_log(self, entries) -> None:
+        """Replay a donor's decision log after adopting its store snapshot.
+
+        The snapshot already reflects every decided transaction, so any
+        residual in-doubt or buffered state for a logged transaction is
+        discharged *without* re-installing writes or re-purging into the
+        abort books — only the locks and trackers are dropped.  A logged
+        commit overrides a locally presumed abort (a logged commit really
+        happened; the presumption was only ever a default), and a still-open
+        *local* transaction of ours in the log — we were the home, got
+        partitioned away mid-2PC, and the majority decided without us — is
+        completed toward the client with the logged outcome.
+        """
+        for tx_id, committed in entries:
+            committed = bool(committed)
+            if tx_id not in self._decisions:
+                self._decisions[tx_id] = committed
+                self._decision_seq += 1
+            elif committed and not self._decisions[tx_id]:
+                self._decisions[tx_id] = True
+            self._notify_waiters(tx_id, "commit" if committed else "abort")
+        self._gc_decisions()
+        for tx_id, _ in entries:
+            if not (
+                tx_id in self._buffered
+                or tx_id in self._votes
+                or tx_id in self._queries
+                or tx_id in self.local
+            ):
+                continue
+            committed = self._decisions.get(tx_id, False)
+            self._queries.pop(tx_id, None)
+            self._buffered.pop(tx_id, None)
+            self._votes.pop(tx_id, None)
+            self._write_homes.pop(tx_id, None)
+            self._write_seen.pop(tx_id, None)
+            self.locks.release_all(tx_id)
+            tx = self.local.get(tx_id)
+            if tx is not None and not tx.terminal:
+                self._write_queue.pop(tx_id, None)
+                self._write_round.pop(tx_id, None)
+                if committed:
+                    # The adopted snapshot already holds the writes; finish
+                    # the client side without re-installing them.  The
+                    # cohorts' provisional record keeps the version order.
+                    self.commit_home(tx, {})
+                else:
+                    self.abort_home(tx, AbortReason.VIEW_LOSS)
+
+    def _enter_in_doubt(self, tx_id: str) -> None:
+        """A YES-voting cohort lost its home: start the query protocol."""
+        if tx_id in self._queries:
+            return
+        self.metrics.rbp_in_doubt += 1
+        self._queries[tx_id] = _QueryState()
+        self.trace.emit(self.now, self.name, "rbp.in_doubt", tx=tx_id)
+        self._send_query(tx_id)
+
+    def _send_query(self, tx_id: str) -> None:
+        query = self._queries.get(tx_id)
+        if query is None:
+            return
+        query.attempt += 1
+        query.parked = False
+        # Seed our own answer: we are in doubt, by definition "unknown".
+        query.answers = {self.site: "unknown"}
+        self.metrics.rbp_decision_queries += 1
+        self.trace.emit(
+            self.now, self.name, "rbp.decision_query", tx=tx_id, attempt=query.attempt
+        )
+        self.rbcast.broadcast(RbpDecisionQuery(tx_id, self.site, query.attempt))
+        self.engine.schedule(
+            self.decision_query_timeout * min(query.attempt, 4),
+            self._query_timeout,
+            tx_id,
+            query.attempt,
+        )
+        self._check_query(tx_id)  # a single-member view resolves immediately
+
+    def _query_timeout(self, tx_id: str, attempt: int) -> None:
+        query = self._queries.get(tx_id)
+        if query is None or query.parked or query.attempt != attempt:
+            return
+        if query.attempt >= self.decision_query_attempts:
+            # Answers may be lost to a partition the failure detector has
+            # not yet turned into a view change; park until the next view.
+            query.parked = True
+            self.trace.emit(self.now, self.name, "rbp.query_parked", tx=tx_id)
+            return
+        self._send_query(tx_id)
+
+    def _on_query(self, query: RbpDecisionQuery) -> None:
+        if query.site == self.site:
+            return  # broadcast self-delivery; the querier seeded its answer
+        outcome = self._local_outcome(query.tx, query.site)
+        self.metrics.rbp_decision_answers += 1
+        answer = RbpDecisionAnswer(query.tx, self.site, outcome)
+        self.router.send(query.site, DIRECT_CHANNEL, answer, answer.kind)
+
+    def _local_outcome(self, tx_id: str, querier: int) -> str:
+        decided = self._decisions.get(tx_id)
+        if decided is not None:
+            return "commit" if decided else "abort"
+        if tx_id in self._queries:
+            # In doubt ourselves; our eventual resolution is pushed to the
+            # querier (we register it as a waiter) but carries no authority.
+            self._query_waiters.setdefault(tx_id, set()).add(querier)
+            return "unknown"
+        if tx_id in self.local:
+            # We are the home and still driving 2PC: promise the outcome.
+            self._query_waiters.setdefault(tx_id, set()).add(querier)
+            return "pending"
+        state = self._votes.get(tx_id)
+        if state is not None and state.request_seen and not state.decided:
+            if state.home in self.view_members:
+                # Live tally that can still decide; push the outcome later.
+                self._query_waiters.setdefault(tx_id, set()).add(querier)
+                return "pending"
+            # Our own watchdog / view change will resolve this state soon.
+            self._query_waiters.setdefault(tx_id, set()).add(querier)
+            return "unknown"
+        if tx_id in self._finished:
+            return "presumed"
+        if tx_id in self._buffered:
+            home = self._write_homes.get(tx_id, -1)
+            if home in self.view_members:
+                self._query_waiters.setdefault(tx_id, set()).add(querier)
+                return "pending"
+            # Buffered writes we never voted for, home gone: presume abort
+            # *now*, so this answer is a promise we can never break by
+            # committing later.
+            self.trace.emit(self.now, self.name, "rbp.presume_abort", tx=tx_id)
+            self._purge(tx_id)
+            return "presumed"
+        return "unknown"
+
+    def _on_answer(self, answer: RbpDecisionAnswer) -> None:
+        query = self._queries.get(answer.tx)
+        if query is None:
+            return  # resolved already (or never ours)
+        query.answers[answer.site] = answer.outcome
+        self._check_query(answer.tx)
+
+    def _check_query(self, tx_id: str) -> None:
+        query = self._queries.get(tx_id)
+        if query is None:
+            return
+        members = set(self.view_members)
+        answers = {s: o for s, o in query.answers.items() if s in members}
+        outcomes = set(answers.values())
+        # Authoritative answers resolve immediately — first consistent
+        # outcome wins (commit preferred: a logged commit really happened,
+        # a lone "abort" cannot coexist with one unless the history already
+        # diverged).
+        if "commit" in outcomes:
+            self._resolve_in_doubt(tx_id, True, via="query")
+            return
+        if "abort" in outcomes:
+            self._resolve_in_doubt(tx_id, False, via="query")
+            return
+        if not members <= set(answers):
+            return  # more answers (or the retry timer) to come
+        if "pending" in outcomes:
+            return  # a member can still decide; it pushes the outcome
+        # Every member of the view answered unknown/presumed: no survivor
+        # knows the transaction.  With a quorum that proves no unanimous
+        # tally can exist anywhere — presume abort.  Without one, park.
+        if not self.has_quorum:
+            query.parked = True
+            self.trace.emit(self.now, self.name, "rbp.query_parked", tx=tx_id)
+            return
+        self._resolve_in_doubt(tx_id, None, via="presumption")
+
+    def _resolve_in_doubt(self, tx_id: str, committed, via: str) -> None:
+        if self._queries.pop(tx_id, None) is None:
+            return
+        if committed:
+            self.metrics.rbp_resolved_by_query_commit += 1
+            self.trace.emit(
+                self.now, self.name, "rbp.decision_adopted", tx=tx_id, outcome="commit"
+            )
+            self._commit_remote(tx_id)
+            return
+        if via == "query":
+            self.metrics.rbp_resolved_by_query_abort += 1
+            self.trace.emit(
+                self.now, self.name, "rbp.decision_adopted", tx=tx_id, outcome="abort"
+            )
+        else:
+            self.metrics.rbp_resolved_by_presumption += 1
+            self.trace.emit(self.now, self.name, "rbp.presume_abort", tx=tx_id)
+        tx = self.local.get(tx_id)
+        if tx is not None and not tx.terminal:
+            # Home-side in-doubt resolved as abort: finish the client here
+            # (VIEW_LOSS is retryable) before the generic purge.
+            self._write_queue.pop(tx_id, None)
+            self.abort_home(tx, AbortReason.VIEW_LOSS)
+        self._purge(tx_id)
+
     # -- direct (point-to-point) deliveries ----------------------------------------
 
     def _on_direct(self, src: int, payload: Any) -> None:
         if isinstance(payload, RbpWriteAck):
             self._on_ack(payload)
+        elif isinstance(payload, RbpDecisionAnswer):
+            self._on_answer(payload)
         else:
             raise RuntimeError(f"site {self.site}: unexpected direct payload {payload!r}")
 
@@ -371,6 +766,12 @@ class ReliableBroadcastReplica(Replica):
         self._write_queue.clear()
         self._write_homes.clear()
         self._write_seen.clear()
+        # The decision log is volatile too: a rejoiner re-adopts the
+        # surviving members' log with the state-transfer snapshot.
+        self._decisions.clear()
+        self._decision_seq = 0
+        self._queries.clear()
+        self._query_waiters.clear()
 
     # -- view changes ----------------------------------------------------------------
 
@@ -381,10 +782,20 @@ class ReliableBroadcastReplica(Replica):
             # Minority view: our in-flight updates can never be decided here
             # (see _check_votes) and submit() refuses new ones.  Abort them
             # now so clients get a final NO_QUORUM outcome instead of
-            # waiting on a heal that may never come.
+            # waiting on a heal that may never come — EXCEPT transactions
+            # already prepared (commit request broadcast, votes cast): a
+            # majority on the other side of the partition can still commit
+            # those from the votes it holds, so a unilateral abort here
+            # would contradict it.  A prepared home is in doubt like any
+            # other cohort: park a decision query and resolve at the heal.
             for tx in [t for t in self.local.values() if not t.read_only]:
-                if not tx.terminal:
-                    self._abort_everywhere(tx, AbortReason.NO_QUORUM)
+                if tx.terminal:
+                    continue
+                state = self._votes.get(tx.tx_id)
+                if state is not None and state.request_seen and not state.decided:
+                    self._enter_in_doubt(tx.tx_id)
+                    continue
+                self._abort_everywhere(tx, AbortReason.NO_QUORUM)
         # Write rounds: acks are now needed only from surviving members.
         for tx_id, rounds in list(self._write_round.items()):
             tx = self.local.get(tx_id)
@@ -395,11 +806,38 @@ class ReliableBroadcastReplica(Replica):
         for tx_id, state in list(self._votes.items()):
             state.votes = {s: v for s, v in state.votes.items() if s in member_set}
             self._check_votes(tx_id)
-        # Transactions homed at departed sites are presumed aborted: their
-        # initiator can no longer drive 2PC to completion.
+        # Transactions homed at departed sites: a cohort that voted YES in
+        # a majority view becomes in-doubt (the outcome may exist at the
+        # survivors — query for it); anything else is presumed aborted,
+        # since its initiator can no longer drive 2PC to completion.
+        fresh_queries: set[str] = set()
         for tx_id, state in list(self._votes.items()):
-            if state.home not in member_set and state.home != -1:
+            if state.home in member_set or state.home == -1:
+                continue
+            if tx_id in self._queries:
+                continue  # already querying; restarted below
+            if (
+                has_quorum
+                and state.request_seen
+                and not state.decided
+                and state.voted_yes
+                and tx_id in self._buffered
+                and tx_id not in self.local
+            ):
+                fresh_queries.add(tx_id)
+                self._enter_in_doubt(tx_id)
+            else:
                 self._purge(tx_id)
+        # Open queries: the member (and thus answer) set changed — restart
+        # every query, parked ones included, against the new view.
+        for tx_id in list(self._queries):
+            if tx_id in fresh_queries:
+                continue  # just sent against this view
+            query = self._queries.get(tx_id)
+            if query is None:
+                continue  # resolved by an earlier restart in this loop
+            query.attempt = 0
+            self._send_query(tx_id)
         for tx_id in list(self._buffered):
             if tx_id in self._votes or tx_id in self.local:
                 continue

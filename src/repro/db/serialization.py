@@ -29,13 +29,19 @@ INITIAL_TX = "T0(initial)"
 
 @dataclass(frozen=True)
 class CommittedTransaction:
-    """What one committed transaction observed and produced."""
+    """What one committed transaction observed and produced.
+
+    ``provisional`` records are written by a *cohort* (writes only, no read
+    set) so the version order keeps a writer even when the initiator dies
+    before recording; the initiator's full record upgrades them in place.
+    """
 
     tx: str
     site: int
     reads: tuple[tuple[str, int], ...]  # (key, version read)
     writes: tuple[tuple[str, int], ...]  # (key, version installed)
     commit_time: float
+    provisional: bool = False
 
 
 @dataclass
@@ -71,6 +77,7 @@ class HistoryRecorder:
     def __init__(self) -> None:
         self.committed: list[CommittedTransaction] = []
         self._by_tx: dict[str, CommittedTransaction] = {}
+        self._index: dict[str, int] = {}
 
     def record_commit(
         self,
@@ -80,16 +87,59 @@ class HistoryRecorder:
         writes: dict[str, int],
         commit_time: float,
     ) -> None:
-        """Record a committed transaction (called once, by its initiator)."""
-        if tx in self._by_tx:
+        """Record a committed transaction (called once, by its initiator).
+
+        An existing *provisional* record (from a cohort) is upgraded in
+        place; a second full record is still an error.
+        """
+        existing = self._by_tx.get(tx)
+        if existing is not None and not existing.provisional:
             raise ValueError(f"transaction {tx} recorded twice")
+        writes_tuple = tuple(sorted(writes.items()))
+        if existing is not None and not writes_tuple:
+            # Initiator completing a transaction whose writes were installed
+            # (and version-stamped) by the cohorts while it was partitioned
+            # away: keep the cohort's authoritative versions.
+            writes_tuple = existing.writes
         record = CommittedTransaction(
             tx,
             site,
             tuple(sorted(reads.items())),
-            tuple(sorted(writes.items())),
+            writes_tuple,
             commit_time,
         )
+        if existing is not None:
+            self.committed[self._index[tx]] = record
+        else:
+            self._index[tx] = len(self.committed)
+            self.committed.append(record)
+        self._by_tx[tx] = record
+
+    def record_commit_provisional(
+        self,
+        tx: str,
+        site: int,
+        writes: dict[str, int],
+        commit_time: float,
+    ) -> None:
+        """Record a commit observed at a cohort (writes only, no read set).
+
+        Idempotent across cohorts — the first one wins — and a no-op once
+        any record for ``tx`` exists.  Keeps the version order dense when
+        the initiator crashes between the unanimous vote and its own
+        :meth:`record_commit`.
+        """
+        if tx in self._by_tx:
+            return
+        record = CommittedTransaction(
+            tx,
+            site,
+            (),
+            tuple(sorted(writes.items())),
+            commit_time,
+            provisional=True,
+        )
+        self._index[tx] = len(self.committed)
         self.committed.append(record)
         self._by_tx[tx] = record
 

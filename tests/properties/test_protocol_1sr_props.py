@@ -10,8 +10,10 @@ times) and runs the complete simulated cluster.
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
+from repro.analysis.audit import assert_clean
 from repro.core.cluster import Cluster, ClusterConfig
 from repro.core.transaction import TransactionSpec
+from repro.sim.faults import FaultSchedule
 
 KEYS = [f"x{i}" for i in range(6)]
 
@@ -90,6 +92,72 @@ def test_abp_locked_variant_is_one_copy_serializable(workload):
     assert result.serialization.ok, result.serialization.explain()
     assert result.converged
     assert result.incomplete_specs == 0
+
+
+# One fault, injected at a random moment spanning every 2PC stage of the
+# random workload (pre-write, mid-write-round, between the commit request
+# and the votes, post-decision), and always repaired — so termination is
+# checkable, not just safety.
+fault_strategy = st.tuples(
+    st.sampled_from(["crash", "partition"]),
+    st.integers(min_value=0, max_value=3),  # victim site
+    st.floats(min_value=0.0, max_value=120.0),  # injection time
+    st.floats(min_value=200.0, max_value=1000.0),  # outage duration
+)
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(workload=workload_strategy, fault=fault_strategy)
+def test_faults_at_random_2pc_stages_preserve_1sr_and_terminate(workload, fault):
+    """Crashing or isolating a random site at a random 2PC stage must leave
+    the history one-copy serializable, every client answered, and — after
+    the repair plus the decision-query machinery settles — no cohort stuck
+    on a transaction it cannot terminate (no held locks, no open tallies or
+    queries on any live replica)."""
+    kind, victim, at, duration = fault
+    cluster = Cluster(
+        ClusterConfig(
+            protocol="rbp",
+            num_sites=4,
+            num_objects=len(KEYS),
+            seed=5,
+            retry_aborted=True,
+            max_attempts=10,
+            retry_backoff=5.0,
+            enable_failure_detector=True,
+            fd_interval=20.0,
+            fd_timeout=80.0,
+            relay=True,
+        )
+    )
+    schedule = FaultSchedule(cluster)
+    if kind == "crash":
+        schedule.crash(victim, at=at).recover(victim, at=at + duration)
+    else:
+        others = [site for site in range(4) if site != victim]
+        schedule.partition([[victim], others], at=at).heal(at=at + duration)
+    for index, (reads, writes, home, submit_at) in enumerate(workload):
+        spec = TransactionSpec.make(
+            f"T{index}",
+            home,
+            read_keys=sorted(reads | writes),
+            writes={key: f"T{index}v" for key in sorted(writes)},
+        )
+        cluster.submit(spec, at=submit_at)
+    result = cluster.run(
+        max_time=1_000_000.0, stop_when=cluster.await_specs(len(workload))
+    )
+    assert result.serialization.ok, result.serialization.explain()
+    assert result.converged
+    assert result.incomplete_specs == 0
+    # Let the repair and the slowest cleanup paths (orphan watchdog, its
+    # in-doubt escalation, a parked query restarted by the heal view) run
+    # to quiescence, then audit for stuck cohorts.
+    cluster.run_for(3000.0)
+    result = cluster.result()
+    assert result.serialization.ok, result.serialization.explain()
+    assert result.converged
+    assert_clean(cluster)
 
 
 @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])

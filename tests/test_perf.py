@@ -12,6 +12,7 @@ def test_quick_suite_runs_and_round_trips(tmp_path):
         "vector_clock_compare",
         "e1_message_cost_cbp",
         "e5_throughput_abp",
+        "e9_failover_rbp",
     ]
     for result in results:
         assert result.ops > 0
@@ -38,6 +39,17 @@ def test_macro_benchmarks_are_deterministic():
     a = perf.bench_e5_representative(quick=True)
     b = perf.bench_e5_representative(quick=True)
     assert a.ops == b.ops  # same seed, same event count — only wall_s varies
+
+
+def test_failover_bench_is_deterministic_and_unblocked():
+    a = perf.bench_e9_representative(quick=True)
+    b = perf.bench_e9_representative(quick=True)
+    assert a.ops == b.ops
+    assert a.metrics["committed"] == b.metrics["committed"]
+    # The bench itself asserts incomplete_specs == 0 (no blocked tail);
+    # the counters must round-trip so regressions show in the trajectory.
+    for key in ("rbp_in_doubt", "rbp_decision_queries", "rbp_write_timeouts"):
+        assert a.metrics[key] == b.metrics[key]
     assert a.metrics["committed"] == b.metrics["committed"]
     assert a.metrics["messages"] == b.metrics["messages"]
 
