@@ -59,6 +59,9 @@ class MetricsCollector:
     # Home-side write-phase watchdog firings (stalled ack round aborted
     # retryably; see ReliableBroadcastReplica.write_grace).
     rbp_write_timeouts: int = 0
+    # Home-side vote-phase watchdog firings (stalled tally, no view change:
+    # the commit request is idempotently re-broadcast to recover lost votes).
+    rbp_vote_retries: int = 0
 
     def tx_committed(self, tx: Transaction, end_time: float) -> None:
         self.outcomes.append(

@@ -85,11 +85,19 @@ class RbpDecisionAnswer:
       promises to push the outcome to the querier when it does;
     - ``"presumed"``: the answerer presumed abort (never authoritative);
     - ``"unknown"``: the answerer has no state for the transaction.
+
+    ``voted_yes`` is the safety bit of the termination protocol: True when
+    the answerer voted YES for the transaction (or may have — a durable
+    prepare record survived its crash), so the answerer could be part of a
+    commit tally somewhere.  A ``presumed``/``unknown`` answer with
+    ``voted_yes=False`` is a promise never to vote YES; only enough such
+    promises to block every possible commit quorum justify presumed abort.
     """
 
     tx: str
     site: int
     outcome: str
+    voted_yes: bool = False
     kind: str = "rbp.decision_answer"
 
 

@@ -81,10 +81,15 @@ class _QueryState:
     """Querier-side state of one in-doubt decision query."""
 
     attempt: int = 0
+    #: Generation token: bumped whenever a view change restarts the query,
+    #: so timers armed for a pre-restart attempt can never fire into the
+    #: restarted query (the (epoch, attempt) pair is checked together).
+    epoch: int = 0
     #: True while retries are exhausted or the view has no quorum; a view
     #: change restarts a parked query against the new membership.
     parked: bool = False
-    answers: dict[int, str] = field(default_factory=dict)
+    #: site -> (outcome, voted_yes), reset at every (re)send.
+    answers: dict[int, tuple[str, bool]] = field(default_factory=dict)
 
 
 class ReliableBroadcastReplica(Replica):
@@ -152,11 +157,21 @@ class ReliableBroadcastReplica(Replica):
         self._decision_seq = 0
         self._queries: dict[str, _QueryState] = {}
         self._query_waiters: dict[str, set[int]] = {}
+        #: Durable prepare records [Ske82]: transactions this site voted YES
+        #: for, force-written before the vote leaves, erased once the
+        #: outcome is known.  Survives crashes (like the store and WAL), so
+        #: a recovered site never denies a YES vote a departed member may
+        #: have built a commit tally from.
+        self._prepared: set[str] = set()
+        # Home-side: last write-phase progress (new round opened or positive
+        # ack landed) per transaction, driving the write watchdog's re-arm.
+        self._write_progress: dict[str, float] = {}
 
     # -- home side --------------------------------------------------------------
 
     def start_update(self, tx: Transaction) -> None:
         self.public.add(tx.tx_id)
+        self._write_progress[tx.tx_id] = self.now
         self.engine.schedule(self.write_grace, self._check_write_progress, tx.tx_id)
         self._write_round[tx.tx_id] = {}
         if self.pipeline_writes:
@@ -179,14 +194,17 @@ class ReliableBroadcastReplica(Replica):
             return
         key, value = queue.pop(0)
         self._write_round[tx.tx_id] = {key: _WriteRound(key)}
+        self._write_progress[tx.tx_id] = self.now
         self.rbcast.broadcast(RbpWrite(tx.tx_id, self.site, key, value, tx.priority))
 
     def _maybe_start_2pc(self, tx: Transaction) -> None:
         if self._write_round.get(tx.tx_id) or self._write_queue.get(tx.tx_id):
             return
         # All writes acknowledged everywhere: start decentralized 2PC.
+        self._write_progress.pop(tx.tx_id, None)
         tx.phase = TxPhase.COMMITTING
         self.rbcast.broadcast(RbpCommitRequest(tx.tx_id, self.site))
+        self.engine.schedule(self.write_grace, self._check_vote_progress, tx.tx_id)
 
     def _on_ack(self, ack: RbpWriteAck) -> None:
         tx = self.local.get(ack.tx)
@@ -201,6 +219,7 @@ class ReliableBroadcastReplica(Replica):
             self._abort_everywhere(tx, AbortReason.WRITE_CONFLICT)
             return
         round_.acks.add(ack.site)
+        self._write_progress[ack.tx] = self.now
         self._check_round(tx, round_)
 
     def _check_round(self, tx: Transaction, round_: _WriteRound) -> None:
@@ -213,27 +232,63 @@ class ReliableBroadcastReplica(Replica):
             self._send_next_write(tx)
 
     def _check_write_progress(self, tx_id: str) -> None:
-        """Write-phase watchdog (armed once per attempt at submit).
+        """Write-phase watchdog, re-armed on every sign of progress.
 
         A round can stall without any view change breaking the wait: a
         partition shorter than the detector timeout swallows the write (or
         its ack) to a peer that stays in the view, and nothing retransmits.
-        The votes path has its own termination (view-filtered tallies and
-        decision queries), so this only covers the pre-2PC write phase —
-        give up and abort retryably, the no-wait locks make retries cheap.
+        The timeout is *per quiet period*, not per transaction: each new
+        round and each positive ack refreshes ``_write_progress``, so a
+        healthy multi-write transaction whose rounds are merely slow is
+        never aborted while acknowledgments keep arriving — only a full
+        ``write_grace`` with no progress at all gives up (retryably; the
+        no-wait locks make retries cheap).  The votes path has its own
+        termination (:meth:`_check_vote_progress`, view-filtered tallies,
+        decision queries), so this only covers the pre-2PC write phase.
         """
         tx = self.local.get(tx_id)
         if tx is None or tx.terminal:
+            self._write_progress.pop(tx_id, None)
             return
         if not (self._write_round.get(tx_id) or self._write_queue.get(tx_id)):
+            self._write_progress.pop(tx_id, None)
             return  # write phase finished; 2PC owns termination now
+        due = self._write_progress.get(tx_id, self.now) + self.write_grace
+        if self.now < due - 1e-9:
+            self.engine.schedule(due - self.now, self._check_write_progress, tx_id)
+            return
         self.metrics.rbp_write_timeouts += 1
         self.trace.emit(self.now, self.name, "rbp.write_timeout", tx=tx_id)
         self._abort_everywhere(tx, AbortReason.VIEW_LOSS)
 
+    def _check_vote_progress(self, tx_id: str) -> None:
+        """Vote-phase watchdog at the home (armed when 2PC starts).
+
+        A transient partition shorter than the failure-detector timeout can
+        swallow votes without ever changing the view; the home's tally then
+        stalls forever, it answers every decision query "pending", and the
+        client is never answered.  Re-broadcast the commit request — the
+        ``_decisions``/``_finished`` short-circuits in
+        :meth:`_on_commit_request` make re-delivery idempotent: decided
+        sites re-broadcast their decided vote, undecided sites re-vote
+        exactly as before — and keep watching until the tally resolves or a
+        view change hands the transaction to the abort/query path.
+        """
+        tx = self.local.get(tx_id)
+        if tx is None or tx.terminal or tx_id in self._queries:
+            return  # answered, or the query path owns termination now
+        state = self._votes.get(tx_id)
+        if state is None or state.decided or tx.phase is not TxPhase.COMMITTING:
+            return
+        self.metrics.rbp_vote_retries += 1
+        self.trace.emit(self.now, self.name, "rbp.vote_retry", tx=tx_id)
+        self.rbcast.broadcast(RbpCommitRequest(tx_id, self.site))
+        self.engine.schedule(self.write_grace, self._check_vote_progress, tx_id)
+
     def _abort_everywhere(self, tx: Transaction, reason: AbortReason) -> None:
         self._write_round.pop(tx.tx_id, None)
         self._write_queue.pop(tx.tx_id, None)
+        self._write_progress.pop(tx.tx_id, None)
         self.rbcast.broadcast(RbpAbort(tx.tx_id))
         self.abort_home(tx, reason)
         # Local cleanup for our own copy happens via the broadcast's
@@ -304,10 +359,11 @@ class ReliableBroadcastReplica(Replica):
                 return
             if state.home not in self.view_members:
                 # The home departed before the tally completed.  A YES vote
-                # makes us in-doubt (the survivors may know the outcome);
+                # makes us in-doubt (the survivors may know the outcome —
+                # in a minority view the query simply parks until the heal);
                 # without one, no site can have committed: presume abort.
                 self._write_seen.pop(tx_id, None)
-                if state.voted_yes and self.has_quorum and tx_id not in self.local:
+                if state.voted_yes and tx_id not in self.local:
                     self._enter_in_doubt(tx_id)
                 else:
                     self.trace.emit(self.now, self.name, "rbp.presume_abort", tx=tx_id)
@@ -389,6 +445,11 @@ class ReliableBroadcastReplica(Replica):
         # transaction's state (e.g. it crashed and recovered) votes no.
         yes = request.tx in self._buffered or request.home == self.site
         state.voted_yes = yes
+        if yes:
+            # Durable prepare record, force-written before the vote leaves:
+            # even after a crash this site must never deny a YES vote that a
+            # departed member may have completed a commit tally with.
+            self._prepared.add(request.tx)
         self.rbcast.broadcast(RbpVote(request.tx, self.site, yes))
         self._check_votes(request.tx)
 
@@ -489,6 +550,9 @@ class ReliableBroadcastReplica(Replica):
         self._write_homes.pop(tx_id, None)
         self._write_seen.pop(tx_id, None)
         self._queries.pop(tx_id, None)
+        # Purge happens only on a learned outcome or a provably-safe
+        # presumption, so the durable prepare record may be erased with it.
+        self._prepared.discard(tx_id)
         self.locks.release_all(tx_id)
         self._notify_waiters(tx_id, "presumed")
         self._gc_decisions()
@@ -512,6 +576,7 @@ class ReliableBroadcastReplica(Replica):
     def _record_decision(self, tx_id: str, committed: bool) -> None:
         """Append an authoritative outcome to the bounded decision log and
         push it to any querier we promised a pending answer."""
+        self._prepared.discard(tx_id)  # outcome known: the prepare record goes
         if tx_id not in self._decisions:
             self._decisions[tx_id] = committed
             self._decision_seq += 1
@@ -560,16 +625,24 @@ class ReliableBroadcastReplica(Replica):
         partitioned away mid-2PC, and the majority decided without us — is
         completed toward the client with the logged outcome.
         """
+        # Resolve each entry's outcome up front (donor's entry merged with
+        # any local record): the capacity GC below may evict an entry just
+        # adopted, and the discharge loop must not then read the post-GC map
+        # and abort a transaction the majority actually committed.
+        resolved: dict[str, bool] = {}
         for tx_id, committed in entries:
             committed = bool(committed)
-            if tx_id not in self._decisions:
+            prior = self._decisions.get(tx_id)
+            if prior is None:
                 self._decisions[tx_id] = committed
                 self._decision_seq += 1
-            elif committed and not self._decisions[tx_id]:
+            elif committed and not prior:
                 self._decisions[tx_id] = True
+            resolved[tx_id] = committed or bool(prior)
+            self._prepared.discard(tx_id)
             self._notify_waiters(tx_id, "commit" if committed else "abort")
         self._gc_decisions()
-        for tx_id, _ in entries:
+        for tx_id in resolved:
             if not (
                 tx_id in self._buffered
                 or tx_id in self._votes
@@ -577,7 +650,7 @@ class ReliableBroadcastReplica(Replica):
                 or tx_id in self.local
             ):
                 continue
-            committed = self._decisions.get(tx_id, False)
+            committed = resolved[tx_id]
             self._queries.pop(tx_id, None)
             self._buffered.pop(tx_id, None)
             self._votes.pop(tx_id, None)
@@ -611,8 +684,9 @@ class ReliableBroadcastReplica(Replica):
             return
         query.attempt += 1
         query.parked = False
-        # Seed our own answer: we are in doubt, by definition "unknown".
-        query.answers = {self.site: "unknown"}
+        # Seed our own answer: we are in doubt, so "unknown" — and we voted
+        # YES, so our own answer can never witness a presumption.
+        query.answers = {self.site: ("unknown", True)}
         self.metrics.rbp_decision_queries += 1
         self.trace.emit(
             self.now, self.name, "rbp.decision_query", tx=tx_id, attempt=query.attempt
@@ -622,13 +696,20 @@ class ReliableBroadcastReplica(Replica):
             self.decision_query_timeout * min(query.attempt, 4),
             self._query_timeout,
             tx_id,
+            query.epoch,
             query.attempt,
         )
         self._check_query(tx_id)  # a single-member view resolves immediately
 
-    def _query_timeout(self, tx_id: str, attempt: int) -> None:
+    def _query_timeout(self, tx_id: str, epoch: int, attempt: int) -> None:
         query = self._queries.get(tx_id)
-        if query is None or query.parked or query.attempt != attempt:
+        if query is None or query.parked:
+            return
+        if query.epoch != epoch or query.attempt != attempt:
+            # Stale timer: a later attempt superseded it, or a view-change
+            # restart reset the attempt counter (the epoch catches timers
+            # from before the restart that would otherwise alias the
+            # restarted attempt and burn through the retry budget early).
             return
         if query.attempt >= self.decision_query_attempts:
             # Answers may be lost to a partition the failure detector has
@@ -641,53 +722,82 @@ class ReliableBroadcastReplica(Replica):
     def _on_query(self, query: RbpDecisionQuery) -> None:
         if query.site == self.site:
             return  # broadcast self-delivery; the querier seeded its answer
-        outcome = self._local_outcome(query.tx, query.site)
+        outcome, voted_yes = self._local_outcome(query.tx, query.site)
         self.metrics.rbp_decision_answers += 1
-        answer = RbpDecisionAnswer(query.tx, self.site, outcome)
+        answer = RbpDecisionAnswer(query.tx, self.site, outcome, voted_yes)
         self.router.send(query.site, DIRECT_CHANNEL, answer, answer.kind)
 
-    def _local_outcome(self, tx_id: str, querier: int) -> str:
+    def _local_outcome(self, tx_id: str, querier: int) -> tuple[str, bool]:
+        """This site's answer to a decision query: (outcome, voted_yes).
+
+        Safety contract: an answer of ``unknown``/``presumed`` with
+        ``voted_yes=False`` is a *promise* that this site never voted YES
+        for the transaction and never will — every branch below that
+        returns one either has provably never voted (no buffered writes
+        means any late commit request draws a NO vote) or renounces future
+        participation on the spot (purge / ``_finished``).
+        """
         decided = self._decisions.get(tx_id)
         if decided is not None:
-            return "commit" if decided else "abort"
+            return ("commit" if decided else "abort"), False
         if tx_id in self._queries:
-            # In doubt ourselves; our eventual resolution is pushed to the
-            # querier (we register it as a waiter) but carries no authority.
+            # In doubt ourselves (we voted YES); our eventual resolution is
+            # pushed to the querier but carries no authority on its own.
             self._query_waiters.setdefault(tx_id, set()).add(querier)
-            return "unknown"
+            return "unknown", True
         if tx_id in self.local:
             # We are the home and still driving 2PC: promise the outcome.
             self._query_waiters.setdefault(tx_id, set()).add(querier)
-            return "pending"
+            return "pending", True
         state = self._votes.get(tx_id)
         if state is not None and state.request_seen and not state.decided:
             if state.home in self.view_members:
                 # Live tally that can still decide; push the outcome later.
                 self._query_waiters.setdefault(tx_id, set()).add(querier)
-                return "pending"
-            # Our own watchdog / view change will resolve this state soon.
-            self._query_waiters.setdefault(tx_id, set()).add(querier)
-            return "unknown"
+                return "pending", state.voted_yes
+            if state.voted_yes:
+                # In doubt ourselves — the orphan watchdog would get here
+                # eventually; enter now so the vote path is renounced and a
+                # straggling tally can never contradict this answer.
+                self._write_seen.pop(tx_id, None)
+                self._enter_in_doubt(tx_id)
+                self._query_waiters.setdefault(tx_id, set()).add(querier)
+                return "unknown", True
+            # We voted NO (and votes never change): no view containing this
+            # site can reach a unanimous tally — presume abort now, making
+            # the answer a promise we can never break.
+            self.trace.emit(self.now, self.name, "rbp.presume_abort", tx=tx_id)
+            self._purge(tx_id)
+            return "presumed", False
         if tx_id in self._finished:
-            return "presumed"
+            return "presumed", False
         if tx_id in self._buffered:
             home = self._write_homes.get(tx_id, -1)
             if home in self.view_members:
                 self._query_waiters.setdefault(tx_id, set()).add(querier)
-                return "pending"
+                return "pending", False
             # Buffered writes we never voted for, home gone: presume abort
             # *now*, so this answer is a promise we can never break by
             # committing later.
             self.trace.emit(self.now, self.name, "rbp.presume_abort", tx=tx_id)
             self._purge(tx_id)
-            return "presumed"
-        return "unknown"
+            return "presumed", False
+        if tx_id in self._prepared:
+            # A durable prepare record survived our crash: we voted YES and
+            # lost the tally, so a departed member may hold a commit built
+            # on that vote — never deny it.
+            return "unknown", True
+        # No state at all: we never voted and, with nothing buffered, any
+        # late commit request draws a NO vote.  Record the promise so even
+        # a stray re-delivered write cannot resurrect participation.
+        self._finished.add(tx_id)
+        return "unknown", False
 
     def _on_answer(self, answer: RbpDecisionAnswer) -> None:
         query = self._queries.get(answer.tx)
         if query is None:
             return  # resolved already (or never ours)
-        query.answers[answer.site] = answer.outcome
+        query.answers[answer.site] = (answer.outcome, answer.voted_yes)
         self._check_query(answer.tx)
 
     def _check_query(self, tx_id: str) -> None:
@@ -695,8 +805,8 @@ class ReliableBroadcastReplica(Replica):
         if query is None:
             return
         members = set(self.view_members)
-        answers = {s: o for s, o in query.answers.items() if s in members}
-        outcomes = set(answers.values())
+        answers = {s: a for s, a in query.answers.items() if s in members}
+        outcomes = {outcome for outcome, _ in answers.values()}
         # Authoritative answers resolve immediately — first consistent
         # outcome wins (commit preferred: a logged commit really happened,
         # a lone "abort" cannot coexist with one unless the history already
@@ -711,14 +821,40 @@ class ReliableBroadcastReplica(Replica):
             return  # more answers (or the retry timer) to come
         if "pending" in outcomes:
             return  # a member can still decide; it pushes the outcome
-        # Every member of the view answered unknown/presumed: no survivor
-        # knows the transaction.  With a quorum that proves no unanimous
-        # tally can exist anywhere — presume abort.  Without one, park.
         if not self.has_quorum:
             query.parked = True
             self.trace.emit(self.now, self.name, "rbp.query_parked", tx=tx_id)
             return
-        self._resolve_in_doubt(tx_id, None, via="presumption")
+        # Every member of a quorum view answered unknown/presumed.  That
+        # alone does NOT prove no-commit: the answerers may themselves be
+        # in-doubt YES voters, and a departed member (a cohort that held
+        # the full tally, committed, and then crashed or was partitioned
+        # away) could hold a commit built from those very votes.  Presume
+        # abort only when a commit tally is *impossible*:
+        #   (a) the members that provably never voted YES (their answers
+        #       are never-vote promises) block every possible commit
+        #       quorum of the full site set, so no view anywhere can ever
+        #       have been unanimous; or
+        #   (b) every site of the cluster is in this view and answered —
+        #       no decision exists anywhere, and every answerer has
+        #       renounced the vote path, so none can arise.
+        promised = {
+            s
+            for s, (outcome, voted_yes) in answers.items()
+            if outcome == "presumed" or not voted_yes
+        }
+        quorum = self.num_sites // 2 + 1
+        if len(answers) >= self.num_sites or self.num_sites - len(promised) < quorum:
+            self._resolve_in_doubt(tx_id, None, via="presumption")
+            return
+        # Every non-promising answerer is an in-doubt YES voter: a departed
+        # member may know the outcome.  Block (park) rather than guess; the
+        # next view change — e.g. a recovered member rejoining with its
+        # durable decision log — restarts the query.
+        query.parked = True
+        self.trace.emit(
+            self.now, self.name, "rbp.query_parked", tx=tx_id, reason="in_doubt_quorum"
+        )
 
     def _resolve_in_doubt(self, tx_id: str, committed, via: str) -> None:
         if self._queries.pop(tx_id, None) is None:
@@ -735,6 +871,9 @@ class ReliableBroadcastReplica(Replica):
             self.trace.emit(
                 self.now, self.name, "rbp.decision_adopted", tx=tx_id, outcome="abort"
             )
+            # An adopted abort is authoritative — log it so later queriers
+            # get "abort" instead of an unknowable.
+            self._record_decision(tx_id, committed=False)
         else:
             self.metrics.rbp_resolved_by_presumption += 1
             self.trace.emit(self.now, self.name, "rbp.presume_abort", tx=tx_id)
@@ -760,16 +899,31 @@ class ReliableBroadcastReplica(Replica):
 
     def on_crash(self) -> None:
         super().on_crash()
+        # Classic presumed-abort 2PC durability: before the volatile vote
+        # tallies are lost, force a prepare record for every YES vote whose
+        # outcome this site does not know.  After recovery the site answers
+        # decision queries "unknown, voted_yes=True" for these instead of
+        # falsely denying its vote — a departed member may hold a commit
+        # built on it.
+        for tx_id, state in self._votes.items():
+            if (
+                state.request_seen
+                and state.voted_yes
+                and not state.decided
+                and tx_id not in self._decisions
+            ):
+                self._prepared.add(tx_id)
         self._buffered.clear()
         self._votes.clear()
         self._write_round.clear()
         self._write_queue.clear()
         self._write_homes.clear()
         self._write_seen.clear()
-        # The decision log is volatile too: a rejoiner re-adopts the
-        # surviving members' log with the state-transfer snapshot.
-        self._decisions.clear()
-        self._decision_seq = 0
+        self._write_progress.clear()
+        # The decision log and prepare records survive the crash (they live
+        # with the WAL, like the store itself); everything else is volatile.
+        # A rejoiner still merges the survivors' decision log with the
+        # state-transfer snapshot, which discharges stale prepare records.
         self._queries.clear()
         self._query_waiters.clear()
 
@@ -806,10 +960,11 @@ class ReliableBroadcastReplica(Replica):
         for tx_id, state in list(self._votes.items()):
             state.votes = {s: v for s, v in state.votes.items() if s in member_set}
             self._check_votes(tx_id)
-        # Transactions homed at departed sites: a cohort that voted YES in
-        # a majority view becomes in-doubt (the outcome may exist at the
-        # survivors — query for it); anything else is presumed aborted,
-        # since its initiator can no longer drive 2PC to completion.
+        # Transactions homed at departed sites: a cohort that voted YES
+        # becomes in-doubt (the outcome may exist at the survivors — query
+        # for it; in a minority view the query parks until the heal);
+        # anything else is presumed aborted, since its initiator can no
+        # longer drive 2PC to completion and no site holds a YES vote.
         fresh_queries: set[str] = set()
         for tx_id, state in list(self._votes.items()):
             if state.home in member_set or state.home == -1:
@@ -817,8 +972,7 @@ class ReliableBroadcastReplica(Replica):
             if tx_id in self._queries:
                 continue  # already querying; restarted below
             if (
-                has_quorum
-                and state.request_seen
+                state.request_seen
                 and not state.decided
                 and state.voted_yes
                 and tx_id in self._buffered
@@ -836,6 +990,10 @@ class ReliableBroadcastReplica(Replica):
             query = self._queries.get(tx_id)
             if query is None:
                 continue  # resolved by an earlier restart in this loop
+            # New epoch: invalidates timers of the pre-restart attempts,
+            # which would otherwise alias the reset attempt numbers and
+            # burn through the retry budget without the intended backoff.
+            query.epoch += 1
             query.attempt = 0
             self._send_query(tx_id)
         for tx_id in list(self._buffered):

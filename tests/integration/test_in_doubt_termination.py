@@ -1,10 +1,14 @@
 """In-doubt decision-query termination under partitions and crashes.
 
-Four deterministic scenarios exercise the RBP decision-query subsystem
+Deterministic scenarios exercise the RBP decision-query subsystem
 (PROTOCOLS.md): a cohort that voted YES and lost sight of its home must
 not guess — it queries the surviving members' decision logs and adopts
 the first authoritative outcome, falling back to presumed abort only when
-a full quorum answers that nobody knows the transaction.
+the answers *prove* no commit tally can exist anywhere (enough provable
+never-voters to block every quorum, or the whole cluster answering with
+nothing).  When every answerer is itself an in-doubt YES voter, the query
+parks: a departed member may hold the commit, and its durable decision
+log settles the question when it rejoins.
 
 All timings are derived, not tuned: with ``fd_interval=20`` /
 ``fd_timeout=80`` a site silent since *t* is suspected at the first
@@ -224,5 +228,118 @@ def test_total_home_loss_falls_back_to_presumed_abort():
     # The presumption freed the lock long before the watchdog would have.
     adopted = cluster.trace.filter("rbp.presume_abort", tx="T#1")
     assert adopted and all(r.time < 1000.0 for r in adopted)
+    assert_no_locks(cluster)
+    assert_clean(cluster)
+
+
+def test_all_in_doubt_survivors_park_until_committer_recovers():
+    """The only sites that learned the outcome — the home and the one
+    cohort whose tally completed — both crash right after committing.  The
+    surviving quorum is made entirely of in-doubt YES voters: nobody can
+    *prove* no-commit, so presuming abort would contradict the crashed
+    committer's history.  The survivors must park instead, and adopt the
+    commit from the committer's durable decision log when it rejoins."""
+    # Site 3's outbound links to 0, 1, 2 lag 180ms, so 0, 1, 2 never
+    # assemble the full tally before the crashes.  The home (4) and site 3
+    # both commit at t=254; 4 crashes at t=258, 3 at t=256.
+    slow = {(3, 0): 180.0, (3, 1): 180.0, (3, 2): 180.0}
+    cluster = in_doubt_cluster(latency=LinkLatency(1.0, slow=slow))
+    FaultSchedule(cluster).crash(3, at=256.0).crash(4, at=258.0).recover(3, at=3000.0)
+    cluster.submit(update("T", 4, "x1", 1), at=250.0)
+    # Same key, submitted after the recovery settles: proves the adopted
+    # commit released the exclusive locks.
+    cluster.submit(update("T2", 0, "x1", 2), at=4000.0)
+    result = cluster.run(max_time=100_000.0, stop_when=cluster.await_specs(2))
+
+    assert result.ok
+    assert cluster.spec_status("T").committed  # home answered before crashing
+    assert cluster.spec_status("T2").committed
+    metrics = cluster.metrics
+    assert metrics.rbp_in_doubt == 3
+    # The regression this guards: a full quorum of unknown answers used to
+    # presume abort even though every answerer was an in-doubt YES voter
+    # and the departed committer held the commit — 1SR divergence.
+    assert metrics.rbp_resolved_by_presumption == 0
+    assert metrics.rbp_resolved_by_query_abort == 0
+    assert metrics.rbp_resolved_by_query_commit == 3
+    # The queries parked on the all-YES answer set (no provable no-commit)
+    # rather than exhausting retries forever.
+    assert cluster.trace.filter("rbp.query_parked", reason="in_doubt_quorum")
+
+    # Every resolution waited for the committer's return at t=3000: the
+    # answers came from its durable decision log, nothing guessed earlier.
+    adopted = cluster.trace.filter("rbp.decision_adopted", tx="T#1", outcome="commit")
+    assert len(adopted) == 3
+    assert all(r.time > 3000.0 for r in adopted)
+    assert_no_locks(cluster)
+    assert_clean(cluster)
+
+
+def test_vote_watchdog_recovers_home_from_transient_vote_loss():
+    """A transient partition (healed well inside the detector timeout, so
+    no view ever changes) swallows every cohort vote on its way back to the
+    home.  The cohorts hold the full tally and commit; the home's tally is
+    stalled forever and, before the vote-phase watchdog existed, the client
+    was never answered.  The watchdog re-broadcasts the commit request and
+    the cohorts' re-sent (decided) votes complete the home's tally."""
+    cluster = in_doubt_cluster()
+    # t=100: submit at home 4.  Writes ack by t=102; the commit request and
+    # the home's vote land everywhere by t=103.  The partition at t=103.5
+    # drops the cohorts' votes (sent t=103, due t=104) toward the home;
+    # cohorts 0-3 exchange them and commit at t=104.  The heal at t=150
+    # keeps every heartbeat gap under fd_timeout: no view change ever.
+    FaultSchedule(cluster).partition([[4], [0, 1, 2, 3]], at=103.5).heal(at=150.0)
+    cluster.submit(update("T", 4, "x0", 1), at=100.0)
+    cluster.submit(update("T2", 0, "x0", 2), at=2000.0)
+    result = cluster.run(max_time=50_000.0, stop_when=cluster.await_specs(2))
+
+    assert result.ok
+    status = cluster.spec_status("T")
+    assert status.committed  # the client was answered
+    assert cluster.spec_status("T2").committed
+    metrics = cluster.metrics
+    assert metrics.rbp_vote_retries >= 1
+    assert metrics.rbp_write_timeouts == 0
+    # No view change means no in-doubt machinery: the watchdog alone
+    # recovered the tally.
+    assert metrics.rbp_in_doubt == 0
+    assert metrics.rbp_decision_queries == 0
+    retries = cluster.trace.filter("rbp.vote_retry", tx="T#1")
+    assert retries and retries[0].time > 150.0  # after the heal, by design
+    # The home committed within one round-trip of the first retry.
+    outcome = next(o for o in metrics.outcomes if o.tx_id == "T#1")
+    assert outcome.end_time <= retries[0].time + 10.0
+    assert_no_locks(cluster)
+    assert_clean(cluster)
+
+
+def test_slow_write_rounds_are_not_spuriously_timed_out():
+    """The write watchdog times out *quiet periods*, not transactions: a
+    three-write transaction over uniformly slow links spends ~1.8s in its
+    write phase — longer than ``write_grace`` — but acknowledgments keep
+    arriving, so it must commit without ever tripping the watchdog (the
+    old once-armed check aborted it at T+write_grace flat)."""
+    cluster = in_doubt_cluster(
+        latency=LinkLatency(300.0),
+        # 300ms links starve an 80ms detector; the watchdogs under test
+        # must terminate on their own, without any view change.
+        enable_failure_detector=False,
+    )
+    spec = TransactionSpec.make(
+        "T", 4, read_keys=["x0"], writes={"x0": 1, "x1": 2, "x2": 3}
+    )
+    cluster.submit(spec, at=100.0)
+    result = cluster.run(max_time=50_000.0, stop_when=cluster.await_specs(1))
+
+    assert result.ok
+    assert cluster.spec_status("T").committed
+    metrics = cluster.metrics
+    assert metrics.rbp_write_timeouts == 0
+    assert metrics.rbp_vote_retries == 0
+    outcome = next(o for o in metrics.outcomes if o.committed)
+    # Three sequential write rounds (~600ms each) plus 2PC: the commit
+    # lands far beyond write_grace, proving the watchdog re-armed through
+    # the whole phase instead of firing at T+1000 flat.
+    assert outcome.latency > 2000.0
     assert_no_locks(cluster)
     assert_clean(cluster)
