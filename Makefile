@@ -2,10 +2,23 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-report experiments experiments-fast docs examples clean all
+.PHONY: install test bench bench-report experiments experiments-fast docs examples clean all lint detcheck
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
+
+# Static analysis: detcheck (the in-tree determinism/protocol linter, see
+# docs/STATIC_ANALYSIS.md) always runs; ruff runs when installed (the
+# container image does not bundle it; CI installs it).
+lint: detcheck
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src scripts benchmarks tests examples; \
+	else \
+		echo "ruff not installed; skipped (pip install ruff)"; \
+	fi
+
+detcheck:
+	$(PYTHON) scripts/detcheck.py
 
 test:
 	$(PYTHON) -m pytest tests/

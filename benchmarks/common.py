@@ -63,7 +63,7 @@ def run_mix(
 
 def protocol_messages(result: ClusterResult) -> int:
     """Messages attributable to transactions (background excluded)."""
-    return sum(
+    return sum(  # detcheck: ignore[D106] — integer message counts
         count
         for kind, count in result.messages_by_kind.items()
         if not kind.startswith(BACKGROUND_KINDS)

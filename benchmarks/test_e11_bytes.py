@@ -17,8 +17,6 @@ from benchmarks.common import (
     bench_once,
     make_cluster,
     print_experiment_table,
-    run_mix,
-    standard_workload,
 )
 from repro.analysis.report import Table
 
@@ -53,7 +51,7 @@ def byte_run(protocol: str, payload_bytes: int, bandwidth=None):
     assert result.serialization.ok and result.converged
     updates = result.metrics.committed_update_count()
     background = ("cbp.null", "fd.heartbeat", "abcast.token")
-    proto_bytes = sum(
+    proto_bytes = sum(  # detcheck: ignore[D106] — integer byte counts
         count
         for kind, count in cluster.network.stats.bytes_by_kind.items()
         if not kind.startswith(background)

@@ -50,7 +50,7 @@ def crash_recovery_run(protocol: str):
     assert result.serialization.ok, result.serialization.explain()
     assert result.converged
     for tag in phases:
-        phases[tag] = sum(
+        phases[tag] = sum(  # detcheck: ignore[D106] — integer count
             1
             for name, status in cluster._specs.items()
             if name.startswith(tag) and status.committed

@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""Run detcheck (the determinism & protocol-invariant linter) from a checkout.
+
+Thin wrapper over ``python -m repro.analysis.staticcheck`` that bootstraps
+``src/`` onto the path and defaults to the full checked tree and the
+repo-root baseline, so CI and `make lint` need no PYTHONPATH setup.
+
+Usage:
+    python scripts/detcheck.py                      # src scripts benchmarks
+    python scripts/detcheck.py --list-rules
+    python scripts/detcheck.py --write-baseline     # regenerate grandfather list
+    python scripts/detcheck.py src/repro/core       # narrow to a subtree
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.analysis.staticcheck.cli import main  # noqa: E402  (path bootstrap above)
+
+if __name__ == "__main__":
+    os.chdir(ROOT)  # findings and baseline paths are repo-relative
+    argv = sys.argv[1:]
+    if not any(not arg.startswith("-") for arg in argv):
+        argv = argv + ["src", "scripts", "benchmarks"]
+    sys.exit(main(argv))

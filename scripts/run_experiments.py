@@ -16,6 +16,9 @@ identical to a serial run.  With ``--jobs > 1`` output is captured per
 experiment and printed in experiment order once complete.
 """
 
+# detcheck: file-ignore[D102] — wall-clock reads time the reproduction run
+# itself (progress reporting); they never reach the simulation.
+
 from __future__ import annotations
 
 import argparse

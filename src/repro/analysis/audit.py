@@ -88,7 +88,7 @@ def _audit_serialization(cluster: "Cluster") -> list[Finding]:
 
 def _audit_locks(replica) -> list[Finding]:
     findings = []
-    for key in replica.store.keys():
+    for key in sorted(replica.store.keys()):
         holders = replica.locks.holders_of(key)
         if holders:
             findings.append(
@@ -129,6 +129,7 @@ def _audit_protocol_state(replica) -> list[Finding]:
         "_states": "pending commit states",
         "_shipped": "undelivered shipped write sets",
     }
+    # detcheck: ignore[D104] — literal dict above; source order is the spec.
     for attribute, label in leak_attrs.items():
         residue = getattr(replica, attribute, None)
         if residue:

@@ -115,7 +115,9 @@ class ExperimentSweep:
                 for _seed in self.seeds:
                     measured = measurements[index]
                     index += 1
-                    for key, value in measured.items():
+                    # Sorted: sample dicts may come from sweep workers in
+                    # other processes; never trust their key order.
+                    for key, value in sorted(measured.items()):
                         samples.setdefault(key, []).append(value)
                 self.points.append(
                     SweepPoint(

@@ -161,5 +161,5 @@ class MetricsCollector:
                 committed_specs.add(outcome.spec_name)
         if not committed_specs:
             return 0.0
-        total = sum(attempts[name] for name in committed_specs)
+        total = sum(attempts[name] for name in sorted(committed_specs))
         return total / len(committed_specs)

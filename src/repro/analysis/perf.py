@@ -21,6 +21,9 @@ Wall-clock numbers are hardware-dependent; the JSON embeds enough context
 like-for-like reports.
 """
 
+# detcheck: file-ignore[D102] — wall-clock timing is this module's purpose;
+# nothing here feeds back into simulated behavior.
+
 from __future__ import annotations
 
 import json
@@ -29,7 +32,7 @@ import platform
 import re
 import time
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any
 
 SCHEMA_VERSION = 1
 
@@ -372,7 +375,7 @@ def compare_reports(
         return []
     regressions = []
     base_benches = baseline.get("benchmarks", {})
-    for name, entry in current.get("benchmarks", {}).items():
+    for name, entry in sorted(current.get("benchmarks", {}).items()):
         base = base_benches.get(name)
         if base is None:
             continue

@@ -1,0 +1,34 @@
+"""detcheck: AST-based determinism & protocol-invariant linter.
+
+The simulation's comparative claims (message cost, ack elimination, abort
+behaviour of RBP/CBP/ABP) rest on runs being bit-identical across repeats
+and across ``run_sweep(jobs=N)`` workers.  That property is carried by
+conventions — injected ``repro.sim.rng`` streams, sorted iteration before
+protocol decisions, epoch-tokened timers, slotted and size-registered wire
+payloads — and this package is the machine check for them.
+
+Usage::
+
+    python -m repro.analysis.staticcheck src scripts benchmarks
+    python -m repro.analysis.staticcheck --list-rules
+    python -m repro.analysis.staticcheck --select D --format json src
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue.
+"""
+
+from repro.analysis.staticcheck.checker import check_paths, parse_suppressions
+from repro.analysis.staticcheck.cli import main
+from repro.analysis.staticcheck.findings import Baseline, Finding, Rule
+from repro.analysis.staticcheck.rules import ALL_RULE_IDS, RULES, check_module
+
+__all__ = [
+    "ALL_RULE_IDS",
+    "Baseline",
+    "Finding",
+    "RULES",
+    "Rule",
+    "check_module",
+    "check_paths",
+    "main",
+    "parse_suppressions",
+]

@@ -1,0 +1,159 @@
+"""Command-line interface: ``python -m repro.analysis.staticcheck``.
+
+Exit codes: 0 clean (only suppressed/baselined findings), 1 new findings,
+2 bad usage or unparseable checked file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.staticcheck.checker import check_paths
+from repro.analysis.staticcheck.findings import Baseline
+from repro.analysis.staticcheck.rules import ALL_RULE_IDS, RULES
+
+DEFAULT_BASELINE = "detcheck-baseline.json"
+
+
+def _expand_rule_spec(spec: str) -> set[str]:
+    """``"D103,P"`` -> {"D103", every P rule}."""
+    selected: set[str] = set()
+    for token in spec.split(","):
+        token = token.strip().upper()
+        if not token:
+            continue
+        if token in RULES:
+            selected.add(token)
+        elif token in ("D", "P"):
+            selected |= {r for r in ALL_RULE_IDS if r.startswith(token)}
+        else:
+            raise ValueError(f"unknown rule or family: {token!r}")
+    return selected
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="detcheck",
+        description="AST-based determinism & protocol-invariant linter",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"], help="files or directories")
+    parser.add_argument("--select", help="comma-separated rule ids or families (D, P)")
+    parser.add_argument("--ignore", help="comma-separated rule ids or families to skip")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        default=None,
+        help=f"baseline file (default: ./{DEFAULT_BASELINE} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true", help="ignore any baseline file"
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="grandfather every current finding into the baseline and exit 0",
+    )
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument(
+        "-v", "--verbose", action="store_true", help="also print suppressed findings"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id in ALL_RULE_IDS:
+            rule = RULES[rule_id]
+            print(f"{rule.id}  {rule.name:<22} {rule.summary}")
+        return 0
+
+    enabled = set(ALL_RULE_IDS)
+    try:
+        if args.select:
+            enabled = _expand_rule_spec(args.select)
+        if args.ignore:
+            enabled -= _expand_rule_spec(args.ignore)
+    except ValueError as exc:
+        parser.error(str(exc))
+    enabled.add("E001")  # parse errors always fire
+
+    paths = [pathlib.Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        parser.error(f"no such path: {', '.join(map(str, missing))}")
+
+    baseline: Optional[Baseline] = None
+    baseline_path = args.baseline
+    if not args.no_baseline and not args.write_baseline:
+        if baseline_path is None:
+            candidate = pathlib.Path(DEFAULT_BASELINE)
+            baseline_path = candidate if candidate.exists() else None
+        if baseline_path is not None:
+            try:
+                baseline = Baseline.load(baseline_path)
+            except (OSError, ValueError, KeyError) as exc:
+                print(f"detcheck: cannot read baseline {baseline_path}: {exc}")
+                return 2
+
+    findings = check_paths(paths, enabled=enabled, baseline=baseline)
+
+    if args.write_baseline:
+        target = args.baseline or pathlib.Path(DEFAULT_BASELINE)
+        count = Baseline.write(target, findings)
+        print(f"detcheck: wrote {count} grandfathered finding(s) to {target}")
+        return 0
+
+    parse_errors = [f for f in findings if f.rule.id == "E001"]
+    new = [f for f in findings if f.is_new]
+    shown = findings if args.verbose else new
+
+    if args.fmt == "json":
+        print(
+            json.dumps(
+                {
+                    "findings": [f.to_json() for f in shown],
+                    "counts": {
+                        "total": len(findings),
+                        "new": len(new),
+                        "suppressed": sum(1 for f in findings if f.suppressed),
+                        "baselined": sum(1 for f in findings if f.baselined),
+                    },
+                    "stale_baseline": baseline.stale_entries() if baseline else [],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in shown:
+            print(finding.render())
+        if baseline is not None:
+            for entry in baseline.stale_entries():
+                print(
+                    f"detcheck: stale baseline entry {entry['rule']} "
+                    f"{entry['path']} ({entry['fingerprint']}) — finding fixed; "
+                    "regenerate with --write-baseline"
+                )
+        summary = (
+            f"detcheck: {len(findings)} finding(s): {len(new)} new, "
+            f"{sum(1 for f in findings if f.suppressed)} suppressed, "
+            f"{sum(1 for f in findings if f.baselined)} baselined"
+        )
+        print(summary)
+
+    if parse_errors:
+        return 2
+    return 1 if new else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,155 @@
+"""Finding records, fingerprints, and the grandfathering baseline.
+
+A finding is one rule violation at one source location.  Findings are
+identified across runs by a *fingerprint* that survives unrelated edits:
+the hash covers the rule, the file, the stripped source line text, and a
+disambiguating index among identical lines — but **not** the line number,
+so inserting code above a grandfathered finding does not resurrect it.
+
+The baseline file is the repo's list of grandfathered fingerprints.  A run
+fails only on findings that are not suppressed inline and not in the
+baseline; baseline entries that no longer match anything are reported as
+stale so the file shrinks as debt is paid down.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """Static description of one detcheck rule."""
+
+    id: str  # e.g. "D103"
+    name: str  # short slug, e.g. "set-iteration"
+    summary: str  # one-line description for --list-rules
+    hint: str  # generic fix hint appended to findings
+
+    @property
+    def family(self) -> str:
+        return self.id[0]
+
+
+@dataclass(slots=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: Rule
+    path: str  # repo-relative, forward slashes
+    line: int
+    col: int
+    message: str
+    source_line: str = ""
+    suppressed: bool = False  # inline ``# detcheck: ignore[...]``
+    baselined: bool = False  # matched a baseline fingerprint
+    fingerprint: str = field(default="", compare=False)
+
+    @property
+    def is_new(self) -> bool:
+        return not (self.suppressed or self.baselined)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def render(self) -> str:
+        tags = []
+        if self.suppressed:
+            tags.append("suppressed")
+        if self.baselined:
+            tags.append("baseline")
+        tag = f" [{','.join(tags)}]" if tags else ""
+        return (
+            f"{self.location()}: {self.rule.id} {self.message}{tag}\n"
+            f"    hint: {self.rule.hint}"
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule.id,
+            "name": self.rule.name,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.rule.hint,
+            "fingerprint": self.fingerprint,
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+            "new": self.is_new,
+        }
+
+
+def fingerprint_findings(findings: Iterable[Finding]) -> None:
+    """Assign content fingerprints, disambiguating identical lines in order."""
+    seen: dict[tuple[str, str, str], int] = {}
+    for finding in findings:
+        key = (finding.rule.id, finding.path, finding.source_line.strip())
+        index = seen.get(key, 0)
+        seen[key] = index + 1
+        digest = hashlib.sha256(
+            f"{key[0]}|{key[1]}|{key[2]}|{index}".encode("utf-8")
+        ).hexdigest()
+        finding.fingerprint = digest[:12]
+
+
+class Baseline:
+    """The checked-in list of grandfathered findings."""
+
+    def __init__(self, entries: Optional[dict[tuple[str, str, str], dict]] = None):
+        #: (rule, path, fingerprint) -> raw entry dict
+        self.entries = entries or {}
+        self._matched: set[tuple[str, str, str]] = set()
+
+    @classmethod
+    def load(cls, path: pathlib.Path) -> "Baseline":
+        raw = json.loads(path.read_text(encoding="utf-8"))
+        if raw.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"{path}: unsupported baseline version {raw.get('version')!r}"
+            )
+        entries = {}
+        for entry in raw.get("findings", []):
+            entries[(entry["rule"], entry["path"], entry["fingerprint"])] = entry
+        return cls(entries)
+
+    def apply(self, findings: Iterable[Finding]) -> None:
+        """Mark findings that match a grandfathered entry."""
+        for finding in findings:
+            key = (finding.rule.id, finding.path, finding.fingerprint)
+            if key in self.entries:
+                finding.baselined = True
+                self._matched.add(key)
+
+    def stale_entries(self) -> list[dict]:
+        """Entries that matched no finding in the last :meth:`apply`."""
+        return [
+            entry
+            for key, entry in sorted(self.entries.items())
+            if key not in self._matched
+        ]
+
+    @staticmethod
+    def write(path: pathlib.Path, findings: Iterable[Finding]) -> int:
+        """Write a fresh baseline covering every non-suppressed finding."""
+        entries = [
+            {
+                "rule": f.rule.id,
+                "path": f.path,
+                "fingerprint": f.fingerprint,
+                "line": f.line,
+                "note": f.source_line.strip()[:120],
+            }
+            for f in findings
+            if not f.suppressed
+        ]
+        entries.sort(key=lambda e: (e["path"], e["line"], e["rule"]))
+        payload = {"version": BASELINE_VERSION, "findings": entries}
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        return len(entries)

@@ -75,6 +75,8 @@ class PointToPointReplica(Replica):
         self._write_queue: dict[str, list[tuple[str, Any]]] = {}
         self._votes: dict[str, dict[int, bool]] = {}
         self.timeouts_fired = 0
+        # detcheck: ignore[P203] — periodic deadlock sweep; reads only the
+        # current waits-for graph, so a stale firing is a harmless no-op.
         self.schedule(deadlock_check_interval, self._deadlock_check)
 
     # -- submission: incremental (hold-and-wait) read locking ----------------------
@@ -276,6 +278,7 @@ class PointToPointReplica(Replica):
                     self.now, self.name, "p2p.deadlock", victim=victim, cycle=len(cycle)
                 )
                 self._resolve_victim(victim)
+        # detcheck: ignore[P203] — periodic sweep reschedule (see __init__).
         self.schedule(self.deadlock_check_interval, self._deadlock_check)
 
     def _pick_victim(self, cycle: list) -> Optional[str]:

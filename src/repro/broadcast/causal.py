@@ -23,6 +23,7 @@ from typing import Any, Callable, Optional
 from repro.broadcast.message import BroadcastMessage
 from repro.broadcast.reliable import ReliableBroadcast
 from repro.broadcast.vector_clock import VectorClock
+from repro.net.sizes import register_payload
 
 
 @dataclass(slots=True)
@@ -159,3 +160,6 @@ class CausalBroadcast:
     def _deliverable_in_future(self, message: BroadcastMessage) -> bool:
         envelope: CausalEnvelope = message.payload
         return envelope.vc[message.sender] > self._clock[message.sender]
+
+# Import-time shape check for the size model (detcheck P201/P202).
+register_payload(CausalEnvelope)

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.net.router import ChannelRouter
+from repro.net.sizes import register_payload
 from repro.sim.engine import SimulationEngine
 from repro.sim.process import Process
 
@@ -23,12 +24,14 @@ CHANNEL = "fd"
 class Heartbeat:
     """A heartbeat ping (empty payload, identified by channel)."""
 
+    __slots__ = ()
     kind = "fd.heartbeat"
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "Heartbeat()"
 
 
+register_payload(Heartbeat)
 _HEARTBEAT = Heartbeat()
 
 

@@ -26,11 +26,12 @@ communication substrate under the simulation's partial synchrony.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from dataclasses import dataclass
+from typing import Callable
 
 from repro.broadcast.failure_detector import FailureDetector
 from repro.net.router import ChannelRouter
+from repro.net.sizes import register_payload
 from repro.sim.engine import SimulationEngine
 from repro.sim.process import Process
 
@@ -58,13 +59,13 @@ class View:
         return f"view#{self.view_id}{list(self.members)}"
 
 
-@dataclass
+@dataclass(slots=True)
 class ViewMessage:
     view: View
     kind: str = "membership.view"
 
 
-@dataclass
+@dataclass(slots=True)
 class JoinRequest:
     """Rejoin/resync request; carries the requester's view id so the
     coordinator can propose past any view numbers generated independently
@@ -194,3 +195,6 @@ class MembershipService(Process):
         # Fresh start: we only know ourselves until a view message arrives.
         self.view = View(self.view.view_id, (self.site,))
         self.announce_join()
+
+# Import-time shape check for the size model (detcheck P201/P202).
+register_payload(ViewMessage, JoinRequest)

@@ -17,7 +17,7 @@ delivered.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable
 
 from repro.broadcast.vector_clock import VectorClock
 

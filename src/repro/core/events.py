@@ -10,10 +10,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional
 
+from repro.net.sizes import register_payload
+
 # -- RBP: reliable broadcast + explicit acks + decentralized 2PC --------------
 
 
-@dataclass
+@dataclass(slots=True)
 class RbpWrite:
     """One write operation, reliably broadcast to all sites (paper S3)."""
 
@@ -25,7 +27,7 @@ class RbpWrite:
     kind: str = "rbp.write"
 
 
-@dataclass
+@dataclass(slots=True)
 class RbpWriteAck:
     """Point-to-point (positive or negative) acknowledgment of one write."""
 
@@ -36,7 +38,7 @@ class RbpWriteAck:
     kind: str = "rbp.write_ack"
 
 
-@dataclass
+@dataclass(slots=True)
 class RbpCommitRequest:
     """Decentralized 2PC round 1: the initiator's commit request."""
 
@@ -45,7 +47,7 @@ class RbpCommitRequest:
     kind: str = "rbp.commit_request"
 
 
-@dataclass
+@dataclass(slots=True)
 class RbpVote:
     """Decentralized 2PC round 2: every site broadcasts its vote [Ske82]."""
 
@@ -55,7 +57,7 @@ class RbpVote:
     kind: str = "rbp.vote"
 
 
-@dataclass
+@dataclass(slots=True)
 class RbpAbort:
     """Initiator-broadcast abort (after a negative ack or vote)."""
 
@@ -63,7 +65,7 @@ class RbpAbort:
     kind: str = "rbp.abort"
 
 
-@dataclass
+@dataclass(slots=True)
 class RbpDecisionQuery:
     """Termination protocol: an in-doubt cohort (voted yes, home departed
     from the view) asks the surviving members for the transaction's fate."""
@@ -74,7 +76,7 @@ class RbpDecisionQuery:
     kind: str = "rbp.decision_query"
 
 
-@dataclass
+@dataclass(slots=True)
 class RbpDecisionAnswer:
     """Point-to-point answer to a decision query.
 
@@ -104,7 +106,7 @@ class RbpDecisionAnswer:
 # -- CBP: causal broadcast with implicit acknowledgments ----------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class CbpWriteSet:
     """A transaction's write operations, causally broadcast (paper S4).
 
@@ -121,7 +123,7 @@ class CbpWriteSet:
     kind: str = "cbp.write"
 
 
-@dataclass
+@dataclass(slots=True)
 class CbpCommitRequest:
     """Causally broadcast commit request; its vector clock entry for the
     home site is the reference point of the implicit-acknowledgment test."""
@@ -131,7 +133,7 @@ class CbpCommitRequest:
     kind: str = "cbp.commit_request"
 
 
-@dataclass
+@dataclass(slots=True)
 class CbpNack:
     """Explicit negative acknowledgment, causally broadcast.
 
@@ -146,7 +148,7 @@ class CbpNack:
     kind: str = "cbp.nack"
 
 
-@dataclass
+@dataclass(slots=True)
 class CbpNull:
     """Null message (heartbeat) bounding the implicit-acknowledgment wait."""
 
@@ -157,7 +159,7 @@ class CbpNull:
 # -- ABP: atomic broadcast, acknowledgment-free certification -----------------
 
 
-@dataclass
+@dataclass(slots=True)
 class AbpCommitRequest:
     """Atomically broadcast commit request (paper S5).
 
@@ -174,7 +176,7 @@ class AbpCommitRequest:
     kind: str = "abp.commit_request"
 
 
-@dataclass
+@dataclass(slots=True)
 class AbpWriteSet:
     """Variant B: write values shipped ahead via causal broadcast."""
 
@@ -187,7 +189,7 @@ class AbpWriteSet:
 # -- Baseline: point-to-point ROWA + centralized 2PC --------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class P2pWrite:
     tx: str
     key: str
@@ -196,7 +198,7 @@ class P2pWrite:
     kind: str = "p2p.write"
 
 
-@dataclass
+@dataclass(slots=True)
 class P2pWriteAck:
     tx: str
     key: str
@@ -205,13 +207,13 @@ class P2pWriteAck:
     kind: str = "p2p.write_ack"
 
 
-@dataclass
+@dataclass(slots=True)
 class P2pPrepare:
     tx: str
     kind: str = "p2p.prepare"
 
 
-@dataclass
+@dataclass(slots=True)
 class P2pVote:
     tx: str
     site: int
@@ -219,7 +221,7 @@ class P2pVote:
     kind: str = "p2p.vote"
 
 
-@dataclass
+@dataclass(slots=True)
 class P2pDecision:
     tx: str
     commit: bool
@@ -233,3 +235,27 @@ class P2pDecision:
 def priority_of(payload: Any) -> Optional[tuple]:
     """The embedded priority of a payload, when it has one."""
     return getattr(payload, "priority", None)
+
+
+# Import-time shape check: every payload above is slotted, so the size
+# model never falls back to attribute-dict traversal (detcheck P201/P202).
+register_payload(
+    RbpWrite,
+    RbpWriteAck,
+    RbpCommitRequest,
+    RbpVote,
+    RbpAbort,
+    RbpDecisionQuery,
+    RbpDecisionAnswer,
+    CbpWriteSet,
+    CbpCommitRequest,
+    CbpNack,
+    CbpNull,
+    AbpCommitRequest,
+    AbpWriteSet,
+    P2pWrite,
+    P2pWriteAck,
+    P2pPrepare,
+    P2pVote,
+    P2pDecision,
+)

@@ -31,13 +31,14 @@ from typing import Any, Callable, Optional
 
 from repro.core.replica import Replica
 from repro.net.router import ChannelRouter
+from repro.net.sizes import register_payload
 from repro.sim.engine import SimulationEngine
 from repro.sim.trace import TraceLog
 
 CHANNEL = "recovery"
 
 
-@dataclass
+@dataclass(slots=True)
 class StateTransferRequest:
     """Sent by a recovering site to a donor."""
 
@@ -45,7 +46,7 @@ class StateTransferRequest:
     kind: str = "recovery.request"
 
 
-@dataclass
+@dataclass(slots=True)
 class StateTransferReply:
     """Snapshot of committed state + broadcast-layer positions."""
 
@@ -169,3 +170,6 @@ class RecoveryAgent:
         )
         if self.on_recovered is not None:
             self.on_recovered()
+
+# Import-time shape check for the size model (detcheck P201/P202).
+register_payload(StateTransferRequest, StateTransferReply)

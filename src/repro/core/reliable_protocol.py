@@ -942,6 +942,9 @@ class ReliableBroadcastReplica(Replica):
             # those from the votes it holds, so a unilateral abort here
             # would contradict it.  A prepared home is in doubt like any
             # other cohort: park a decision query and resolve at the heal.
+            # detcheck: ignore[D104] — self.local is insertion-ordered by tx
+            # begin time (deterministic); a textual tx-id sort would change
+            # the abort/in-doubt processing order the tests pin down.
             for tx in [t for t in self.local.values() if not t.read_only]:
                 if tx.terminal:
                     continue

@@ -202,6 +202,9 @@ class Replica(Process):
         transactions are left to the protocol's conflict rules.
         """
         preempted: list[str] = []
+        # detcheck: ignore[D104] — dict order here is lock-grant order, which
+        # is deterministic in-run and is the order preemption must follow
+        # (sorting by tx id would preempt in an arbitrary textual order).
         for holder, mode in list(self.locks.holders_of(key).items()):
             if holder == exempt or mode is not LockMode.SHARED:
                 continue

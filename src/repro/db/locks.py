@@ -22,7 +22,7 @@ queue (see DESIGN.md, "Design resolutions").
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Hashable, Optional
 
 TxId = Hashable
@@ -95,6 +95,8 @@ class LockManager:
         """Holders (other than ``tx``) whose mode is incompatible with ``mode``."""
         return [
             holder
+            # detcheck: ignore[D104] — holder dicts are insertion-ordered by
+            # grant time (deterministic); callers treat this list as a set.
             for holder, held in self._holders.get(key, {}).items()
             if holder != tx and not compatible(held, mode)
         ]
@@ -271,7 +273,9 @@ class LockManager:
         def visit(node: TxId) -> Optional[list[TxId]]:
             color[node] = GREY
             stack.append(node)
-            for succ in edges.get(node, ()):
+            # Sorted: successor order decides which cycle (and victim) is
+            # found; raw set order varies with PYTHONHASHSEED across runs.
+            for succ in sorted(edges.get(node, ())):
                 state = color.get(succ, WHITE)
                 if state == GREY:
                     start = stack.index(succ)
@@ -333,7 +337,9 @@ class LockManager:
 
     def _reevaluate(self, touched: set[str]) -> None:
         granted_callbacks: list[tuple[Callable, tuple]] = []
-        for key in touched:
+        # Sorted: grant (and callback) order across keys must not depend on
+        # set hash order, which differs between interpreter processes.
+        for key in sorted(touched):
             queue = self._queues.get(key)
             if not queue:
                 continue

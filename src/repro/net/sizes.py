@@ -103,3 +103,32 @@ def estimate_size(payload: Any, _depth: int = 0) -> int:
 def wire_size(payload: Any) -> int:
     """Payload size plus the per-message header."""
     return HEADER_BYTES + estimate_size(payload)
+
+
+#: Payload classes vetted for the size model (see :func:`register_payload`).
+_REGISTERED_PAYLOADS: set[type] = set()
+
+
+def register_payload(*classes: type) -> None:
+    """Declare wire payload classes to the size model.
+
+    Every class whose instances travel through :func:`wire_size` must either
+    define ``__wire_size__`` or be slotted, so the estimator's traversal has
+    a fixed shape and never falls back to attribute-dict walking.  Payload
+    modules call this at import time for each payload they define; the check
+    here turns a forgotten ``slots=True`` into an import error instead of a
+    silently different (and slower) size estimate.  detcheck rule P202
+    enforces statically that every payload class reaches a call like this.
+    """
+    for cls in classes:
+        if not hasattr(cls, "__wire_size__") and "__slots__" not in cls.__dict__:
+            raise TypeError(
+                f"wire payload {cls.__name__} must declare __slots__ "
+                "(e.g. @dataclass(slots=True)) or define __wire_size__"
+            )
+        _REGISTERED_PAYLOADS.add(cls)
+
+
+def registered_payloads() -> frozenset[type]:
+    """The payload classes registered so far (for tests and audits)."""
+    return frozenset(_REGISTERED_PAYLOADS)

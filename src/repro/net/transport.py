@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.net.network import Datagram, Network
+from repro.net.sizes import register_payload
 from repro.sim.engine import EventHandle, SimulationEngine
 
 
@@ -189,3 +190,6 @@ class ReliableTransport:
         if self._receiver is None:
             raise RuntimeError(f"site {self.site} transport has no receiver")
         self._receiver(src, payload)
+
+# Import-time shape check for the size model (detcheck P201/P202).
+register_payload(Frame, AckFrame)

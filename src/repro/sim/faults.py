@@ -103,4 +103,6 @@ class FaultSchedule:
             self.log.append(FaultEvent(self.cluster.engine.now, action, detail))
             fn()
 
+        # detcheck: ignore[P203] — fault injections ARE the experiment plan;
+        # they must fire unconditionally at their scripted times.
         self.cluster.engine.schedule_at(at, fire)

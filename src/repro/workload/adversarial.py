@@ -23,7 +23,6 @@ demonstrate that the invariants hold even under targeted attack.
 
 from __future__ import annotations
 
-from typing import Any
 
 from repro.core.transaction import TransactionSpec
 

@@ -104,7 +104,6 @@ def test_sequencer_emits_order_assignments(harness_factory):
 
 
 def test_invalid_mode_rejected():
-    from repro.broadcast.causal import CausalBroadcast
     from repro.broadcast.total import TotalOrderBroadcast
 
     with pytest.raises(ValueError):

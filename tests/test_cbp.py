@@ -1,6 +1,5 @@
 """Protocol tests for CBP (causal broadcast + implicit acknowledgments)."""
 
-import pytest
 
 from repro.core.transaction import AbortReason
 

@@ -2,9 +2,7 @@
 
 import dataclasses
 
-import pytest
 
-import repro.core.events as events
 from repro.core.events import (
     AbpCommitRequest,
     AbpWriteSet,

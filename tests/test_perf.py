@@ -1,6 +1,5 @@
 """Tests for the perf-regression harness (analysis.perf + bench_report)."""
 
-import pytest
 
 from repro.analysis import perf
 

@@ -1,7 +1,7 @@
 """Edge-case tests across the protocol implementations."""
 
 from repro.core.cluster import Cluster, ClusterConfig
-from repro.core.transaction import AbortReason, TransactionSpec
+from repro.core.transaction import TransactionSpec
 from tests.conftest import quick_cluster, spec
 
 
