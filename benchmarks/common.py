@@ -63,9 +63,9 @@ def run_mix(
 
 def protocol_messages(result: ClusterResult) -> int:
     """Messages attributable to transactions (background excluded)."""
-    return sum(  # detcheck: ignore[D106] — integer message counts
+    return sum(
         count
-        for kind, count in result.messages_by_kind.items()
+        for kind, count in sorted(result.messages_by_kind.items())
         if not kind.startswith(BACKGROUND_KINDS)
     )
 

@@ -51,9 +51,9 @@ def byte_run(protocol: str, payload_bytes: int, bandwidth=None):
     assert result.serialization.ok and result.converged
     updates = result.metrics.committed_update_count()
     background = ("cbp.null", "fd.heartbeat", "abcast.token")
-    proto_bytes = sum(  # detcheck: ignore[D106] — integer byte counts
+    proto_bytes = sum(
         count
-        for kind, count in cluster.network.stats.bytes_by_kind.items()
+        for kind, count in sorted(cluster.network.stats.bytes_by_kind.items())
         if not kind.startswith(background)
     )
     return (

@@ -50,9 +50,9 @@ def crash_recovery_run(protocol: str):
     assert result.serialization.ok, result.serialization.explain()
     assert result.converged
     for tag in phases:
-        phases[tag] = sum(  # detcheck: ignore[D106] — integer count
+        phases[tag] = sum(
             1
-            for name, status in cluster._specs.items()
+            for name, status in sorted(cluster._specs.items())
             if name.startswith(tag) and status.committed
         )
     return result, phases

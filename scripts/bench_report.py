@@ -51,9 +51,15 @@ def main(argv: list[str] | None = None) -> int:
         default=0.35,
         help="allowed fractional ops/sec drop before failing (default 0.35)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=4,
+        help="worker processes for the sweep-scaling benchmark (default 4)",
+    )
     args = parser.parse_args(argv)
 
-    results = perf.run_suite(quick=args.quick)
+    results = perf.run_suite(quick=args.quick, jobs=args.jobs)
     print(perf.render_results(results))
     report = perf.to_report(results, quick=args.quick)
 

@@ -9,11 +9,21 @@ Usage:
     python scripts/run_experiments.py                # everything, serially
     python scripts/run_experiments.py e1 e3          # a subset
     python scripts/run_experiments.py --jobs 4       # fan experiments across cores
+    python scripts/run_experiments.py --sweep-jobs 4 # fan seeds *within* sweeps
 
 Each experiment is one independent deterministic pytest process, so
 ``--jobs`` changes wall-clock only — tables and pass/fail outcomes are
 identical to a serial run.  With ``--jobs > 1`` output is captured per
 experiment and printed in experiment order once complete.
+
+``--sweep-jobs`` reaches *inside* each experiment process: it is exported
+as ``REPRO_SWEEP_JOBS``, which any ``run_sweep``/``ExperimentSweep`` call
+without an explicit ``jobs=`` picks up, sharding each cell's seed list
+across the sweep worker pool.  The order-canonical merge layer keeps the
+output byte-identical to a serial sweep, so this too changes wall-clock
+only.  The two flags multiply (``--jobs 2 --sweep-jobs 4`` can run 8
+processes); prefer ``--sweep-jobs`` when running a single seed-heavy
+experiment and ``--jobs`` when running the full set.
 """
 
 # detcheck: file-ignore[D102] — wall-clock reads time the reproduction run
@@ -22,6 +32,7 @@ experiment and printed in experiment order once complete.
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import subprocess
 import sys
@@ -58,13 +69,22 @@ def _pytest_command(experiment: str) -> list[str]:
     ]
 
 
-def _run_captured(experiment: str) -> tuple[bool, float, str]:
+def _experiment_env(sweep_jobs: int) -> dict[str, str]:
+    """Subprocess environment; exports the intra-sweep fan-out knob."""
+    env = dict(os.environ)
+    if sweep_jobs > 1:
+        env["REPRO_SWEEP_JOBS"] = str(sweep_jobs)
+    return env
+
+
+def _run_captured(experiment: str, sweep_jobs: int) -> tuple[bool, float, str]:
     started = time.time()
     proc = subprocess.run(
         _pytest_command(experiment),
         cwd=BENCH_DIR.parent,
         capture_output=True,
         text=True,
+        env=_experiment_env(sweep_jobs),
     )
     output = proc.stdout + (("\n" + proc.stderr) if proc.stderr else "")
     return proc.returncode == 0, time.time() - started, output
@@ -79,6 +99,13 @@ def main(argv: list[str]) -> int:
         default=1,
         help="experiments to run concurrently (results are order/outcome identical)",
     )
+    parser.add_argument(
+        "--sweep-jobs",
+        type=int,
+        default=1,
+        help="seed-shard sweeps inside each experiment (exported as "
+        "REPRO_SWEEP_JOBS; byte-identical to serial)",
+    )
     args = parser.parse_args(argv)
 
     requested = [a.lower() for a in args.experiments] or sorted(EXPERIMENTS)
@@ -91,7 +118,9 @@ def main(argv: list[str]) -> int:
     if args.jobs > 1 and len(requested) > 1:
         # Each experiment is its own subprocess; threads only babysit them.
         with ThreadPoolExecutor(max_workers=min(args.jobs, len(requested))) as pool:
-            futures = {e: pool.submit(_run_captured, e) for e in requested}
+            futures = {
+                e: pool.submit(_run_captured, e, args.sweep_jobs) for e in requested
+            }
         for experiment in requested:
             ok, elapsed, output = futures[experiment].result()
             target = BENCH_DIR / EXPERIMENTS[experiment]
@@ -103,7 +132,11 @@ def main(argv: list[str]) -> int:
             target = BENCH_DIR / EXPERIMENTS[experiment]
             print(f"\n{'=' * 72}\n{experiment.upper()}: {target.name}\n{'=' * 72}")
             started = time.time()
-            proc = subprocess.run(_pytest_command(experiment), cwd=BENCH_DIR.parent)
+            proc = subprocess.run(
+                _pytest_command(experiment),
+                cwd=BENCH_DIR.parent,
+                env=_experiment_env(args.sweep_jobs),
+            )
             outcomes[experiment] = (proc.returncode == 0, time.time() - started)
 
     print(f"\n{'=' * 72}\nSummary\n{'=' * 72}")

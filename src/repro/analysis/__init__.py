@@ -2,8 +2,15 @@
 
 from repro.analysis.audit import Finding, assert_clean, audit_cluster
 from repro.analysis.charts import AsciiChart, chart_sweep
-from repro.analysis.experiment import ExperimentSweep
-from repro.analysis.metrics import MetricsCollector, TxOutcome
+from repro.analysis.experiment import ExperimentSweep, run_sweep
+from repro.analysis.metrics import (
+    MetricsCollector,
+    QuantileAccumulator,
+    TxOutcome,
+    WelfordAccumulator,
+    measurement_digest,
+    merge_seed_measurements,
+)
 from repro.analysis.report import Table
 from repro.analysis.stats import Summary, confidence_interval, percentile, summarize
 from repro.analysis.timeline import TimelineBuilder, render_timeline
@@ -16,12 +23,17 @@ __all__ = [
     "audit_cluster",
     "chart_sweep",
     "MetricsCollector",
+    "QuantileAccumulator",
     "Summary",
     "Table",
     "TimelineBuilder",
     "TxOutcome",
+    "WelfordAccumulator",
     "confidence_interval",
+    "measurement_digest",
+    "merge_seed_measurements",
     "percentile",
     "render_timeline",
+    "run_sweep",
     "summarize",
 ]

@@ -9,7 +9,10 @@ times
   wall-clock, and the run's simulated commit-latency p50/p95;
 - two **micro** benchmarks isolating the kernel hot paths this repo's
   optimisation PRs target: engine schedule/cancel timer churn and
-  vector-clock comparisons.
+  vector-clock comparisons;
+- a **sweep-scaling** entry (one cell, many seeds) that times the
+  seed-sharded parallel scheduler against its serial run, asserts the two
+  are byte-identical, and reports the speedup at ``--jobs`` workers.
 
 ``scripts/bench_report.py`` runs the suite, writes the next ``BENCH_N.json``
 at the repository root and compares against the previous one with a
@@ -311,10 +314,97 @@ def bench_e9_representative(quick: bool = False) -> BenchResult:
     )
 
 
+# -- sweep scaling (seed-sharded parallel sweeps) ------------------------------
+
+
+def _sweep_scaling_cell(protocol: str, mpl: int, seed: int) -> dict:
+    """One seed of the scaling sweep's single cell (picklable, module-level
+    so the worker pool can ship it).  Reports the commit-latency
+    distribution as a mergeable accumulator, so the sweep's percentiles are
+    pooled across seeds through the order-canonical merge layer."""
+    from repro.analysis.metrics import QuantileAccumulator
+    from repro.core.cluster import Cluster, ClusterConfig
+    from repro.workload.generator import WorkloadConfig
+    from repro.workload.runner import ClosedLoopRunner
+
+    cluster = Cluster(
+        ClusterConfig(protocol=protocol, num_sites=4, num_objects=48, seed=seed)
+    )
+    runner = ClosedLoopRunner(
+        cluster,
+        WorkloadConfig(
+            num_objects=48, num_sites=4, read_ops=2, write_ops=2, zipf_theta=0.3
+        ),
+        mpl=mpl,
+        transactions=24,
+    )
+    runner.start()
+    result = cluster.run(max_time=5_000_000.0)
+    assert result.ok, "scaling sweep cell violated invariants"
+    latency = QuantileAccumulator()
+    for outcome in result.metrics.committed:
+        if not outcome.read_only:
+            latency.observe(outcome.latency)
+    return {
+        "events": float(cluster.engine.events_processed),
+        "commits": float(result.committed_specs),
+        "latency (ms)": latency,
+    }
+
+
+def bench_sweep_scaling(jobs: int = 4, quick: bool = False) -> BenchResult:
+    """Seed-sharded sweep throughput: one cell, many seeds, serial vs pool.
+
+    The regime the two-level scheduler exists for — a single large cell
+    that the old cells-only fan-out would bind to one core.  Times the
+    same sweep at ``jobs=1`` and ``jobs=N``, asserts the outcome digests
+    are byte-identical (the determinism contract, not just a test-suite
+    property), and reports the wall-clock speedup.  On a single-core
+    container the speedup hovers around 1x (process scheduling overhead
+    included); the metric exists so multi-core trajectories show scaling
+    and regressions in either mode fail the gate.
+    """
+    from repro.analysis.experiment import run_sweep
+
+    seeds = tuple(range(6 if quick else 16))
+    sweep_kwargs = dict(
+        name="sweep_scaling",
+        scenario=_sweep_scaling_cell,
+        parameters=(8,),
+        protocols=("rbp",),
+        seeds=seeds,
+    )
+    started = time.perf_counter()
+    serial = run_sweep(**sweep_kwargs, jobs=1)
+    serial_wall = time.perf_counter() - started
+    started = time.perf_counter()
+    parallel = run_sweep(**sweep_kwargs, jobs=jobs)
+    parallel_wall = time.perf_counter() - started
+    assert parallel.digest() == serial.digest(), (
+        "parallel sweep output diverged from serial"
+    )
+    events_per_seed = serial.value(8, "rbp", "events")
+    total_events = int(events_per_seed * len(seeds))
+    return BenchResult(
+        name="sweep_scaling_rbp",
+        wall_s=parallel_wall,
+        ops=total_events,
+        unit="events",
+        metrics={
+            "seeds": float(len(seeds)),
+            "jobs": float(jobs),
+            "serial_wall_s": serial_wall,
+            "parallel_wall_s": parallel_wall,
+            "speedup": serial_wall / parallel_wall if parallel_wall > 0 else 0.0,
+            "latency_p95_ms": serial.value(8, "rbp", "latency (ms) p95"),
+        },
+    )
+
+
 # -- suite / report -----------------------------------------------------------
 
 
-def run_suite(quick: bool = False) -> list[BenchResult]:
+def run_suite(quick: bool = False, jobs: int = 4) -> list[BenchResult]:
     """Run every benchmark, micro first (they warm nothing up; order is
     cosmetic but stable so reports diff cleanly)."""
     return [
@@ -323,6 +413,7 @@ def run_suite(quick: bool = False) -> list[BenchResult]:
         bench_e1_representative(quick=quick),
         bench_e5_representative(quick=quick),
         bench_e9_representative(quick=quick),
+        bench_sweep_scaling(jobs=jobs, quick=quick),
     ]
 
 

@@ -26,10 +26,15 @@ def percentile(values: Sequence[float], fraction: float) -> float:
 
 
 def mean(values: Sequence[float]) -> float:
-    """Arithmetic mean (raises on empty input)."""
+    """Arithmetic mean (raises on empty input).
+
+    Uses :func:`math.fsum` so the result is exactly rounded — and therefore
+    independent of any upstream reordering of equal-content inputs, which
+    the parallel sweep merge relies on.
+    """
     if not values:
         raise ValueError("mean of empty sequence")
-    return sum(values) / len(values)
+    return math.fsum(values) / len(values)
 
 
 def stddev(values: Sequence[float]) -> float:
@@ -37,7 +42,7 @@ def stddev(values: Sequence[float]) -> float:
     if len(values) < 2:
         return 0.0
     mu = mean(values)
-    return math.sqrt(sum((v - mu) ** 2 for v in values) / (len(values) - 1))
+    return math.sqrt(math.fsum((v - mu) ** 2 for v in values) / (len(values) - 1))
 
 
 def confidence_interval(values: Sequence[float], z: float = 1.96) -> tuple[float, float]:

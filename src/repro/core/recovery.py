@@ -159,6 +159,11 @@ class RecoveryAgent:
             }
         )
         replica.recovering = False
+        # The snapshot (plus fast-forwarded decision log) is now the store
+        # base: let the protocol replay whatever it deferred while the
+        # transfer was in flight, so live traffic delivered between the
+        # donor's export and this install is not clobbered by it.
+        replica.on_recovery_complete()
         self.requested = False
         self.transfers_completed += 1
         self.trace.emit(

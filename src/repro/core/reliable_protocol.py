@@ -163,6 +163,13 @@ class ReliableBroadcastReplica(Replica):
         #: a recovered site never denies a YES vote a departed member may
         #: have built a commit tally from.
         self._prepared: set[str] = set()
+        #: Broadcast deliveries deferred while a state transfer is in
+        #: flight, replayed (in delivery order) from
+        #: :meth:`on_recovery_complete`.  Applying them live would race the
+        #: snapshot install: the donor exports its store, a write commits at
+        #: both donor and rejoiner, then the (stale) snapshot lands and
+        #: silently rolls the rejoiner back.
+        self._recovery_backlog: list[BroadcastMessage] = []
         # Home-side: last write-phase progress (new round opened or positive
         # ack landed) per transaction, driving the write watchdog's re-arm.
         self._write_progress: dict[str, float] = {}
@@ -297,6 +304,22 @@ class ReliableBroadcastReplica(Replica):
     # -- broadcast deliveries (every site, including the home) ---------------------
 
     def _on_broadcast(self, message: BroadcastMessage) -> None:
+        if self.recovering:
+            # Defer store-touching traffic until the snapshot is installed.
+            # This is safe for liveness: any commit this site's silence
+            # blocks needs our write ack (the home's view included us when
+            # it broadcast), so the home simply stays blocked until the
+            # replay acks — and necessary for safety: a write applied now
+            # would be clobbered by the in-flight snapshot, diverging this
+            # replica for good.  Decision queries are the exception: they
+            # read only the durable decision log (which survived the crash
+            # and is never clobbered by the install), and parked in-doubt
+            # survivors may be waiting on precisely this rejoiner's log —
+            # deferring them would stall their adoption past the donor's
+            # snapshot export, recreating the stale-snapshot race for them.
+            if not isinstance(message.payload, RbpDecisionQuery):
+                self._recovery_backlog.append(message)
+                return
         payload = message.payload
         if isinstance(payload, RbpWrite):
             self._on_write(payload)
@@ -314,10 +337,13 @@ class ReliableBroadcastReplica(Replica):
             raise RuntimeError(f"site {self.site}: unexpected RBP payload {payload!r}")
 
     def _on_write(self, write: RbpWrite) -> None:
-        if write.tx in self._finished:
+        if write.tx in self._finished or write.tx in self._decisions:
             # Already locally aborted (abort broadcast, or the presumed-abort
-            # watchdog below): negative-ack instead of staying silent so a
-            # home that is still alive aborts rather than blocking on us.
+            # watchdog below), or already decided — a replayed post-recovery
+            # backlog can hold writes of transactions whose outcome arrived
+            # with the snapshot's decision log: negative-ack instead of
+            # staying silent so a home that is still alive aborts rather
+            # than blocking on us.
             self._send_ack(write, ok=False)
             return
         granted = self.locks.try_acquire(write.tx, write.key, LockMode.EXCLUSIVE)
@@ -926,6 +952,27 @@ class ReliableBroadcastReplica(Replica):
         # state-transfer snapshot, which discharges stale prepare records.
         self._queries.clear()
         self._query_waiters.clear()
+        self._recovery_backlog.clear()
+
+    def on_recovery_complete(self) -> None:
+        """Replay the broadcasts deferred during the state transfer.
+
+        Runs after the snapshot install and the decision-log fast-forward,
+        so the replay applies on the post-transfer store base.  Replay goes
+        back through :meth:`_on_broadcast` in original delivery order: the
+        reliable-broadcast layer already fixed that order, and re-entering
+        at the top keeps one code path for live and replayed deliveries.
+        Writes of transactions the snapshot already decided hit the
+        ``_decisions`` guard in :meth:`_on_write` and get a negative ack
+        (harmless: their homes are finished with them).
+        """
+        backlog, self._recovery_backlog = self._recovery_backlog, []
+        if backlog:
+            self.trace.emit(
+                self.now, self.name, "rbp.recovery_replay", deferred=len(backlog)
+            )
+        for message in backlog:
+            self._on_broadcast(message)
 
     # -- view changes ----------------------------------------------------------------
 

@@ -259,6 +259,14 @@ class Replica(Process):
         self.local.clear()
         self.public.clear()
 
+    def on_recovery_complete(self) -> None:
+        """Hook invoked by the recovery agent right after the state-transfer
+        snapshot is installed and ``recovering`` is cleared.  Protocols that
+        defer live deliveries during the transfer (RBP buffers broadcasts,
+        since a delivery applied *before* the snapshot install would be
+        clobbered by it) replay them here; the base replica has nothing to
+        replay."""
+
     # -- view plumbing -------------------------------------------------------------
 
     def on_view_change(self, members: list[int], has_quorum: bool) -> None:

@@ -5,13 +5,14 @@ from repro.analysis import perf
 
 
 def test_quick_suite_runs_and_round_trips(tmp_path):
-    results = perf.run_suite(quick=True)
+    results = perf.run_suite(quick=True, jobs=2)
     assert [r.name for r in results] == [
         "engine_churn",
         "vector_clock_compare",
         "e1_message_cost_cbp",
         "e5_throughput_abp",
         "e9_failover_rbp",
+        "sweep_scaling_rbp",
     ]
     for result in results:
         assert result.ops > 0
@@ -51,6 +52,18 @@ def test_failover_bench_is_deterministic_and_unblocked():
         assert a.metrics[key] == b.metrics[key]
     assert a.metrics["committed"] == b.metrics["committed"]
     assert a.metrics["messages"] == b.metrics["messages"]
+
+
+def test_sweep_scaling_bench_reports_digest_checked_speedup():
+    """The scaling bench's digest assertion ran (it returns at all) and the
+    report carries both walls so the trajectory can show scaling."""
+    result = perf.bench_sweep_scaling(jobs=2, quick=True)
+    assert result.unit == "events"
+    assert result.metrics["jobs"] == 2.0
+    assert result.metrics["serial_wall_s"] > 0
+    assert result.metrics["parallel_wall_s"] > 0
+    assert result.metrics["speedup"] > 0
+    assert result.metrics["latency_p95_ms"] > 0
 
 
 def _report(quick, ops_per_sec):

@@ -117,3 +117,49 @@ def test_recovery_preserves_1sr_with_traffic_after_rejoin():
     result = cluster.run(max_time=300000, stop_when=cluster.await_specs(12))
     assert result.ok, result.serialization.explain()
     assert result.committed_specs == 12
+
+
+def test_live_write_during_state_transfer_survives_snapshot_install():
+    """Regression (found by the fault property test): a write committing in
+    the window between the donor exporting its snapshot and the rejoiner
+    installing it must not be rolled back by the install.
+
+    With fault=(victim=1, crash_at=281, recovery_delay=1127) and a single
+    write homed at site 0 submitted at t=1508, site 1 used to apply T0
+    live mid-transfer and then clobber it with the (older) snapshot,
+    leaving its store one version behind forever.  RBP now defers
+    broadcast deliveries while ``recovering`` and replays them after the
+    install (see ``ReliableBroadcastReplica.on_recovery_complete``).
+    """
+    cluster = Cluster(
+        ClusterConfig(
+            protocol="rbp",
+            num_sites=4,
+            num_objects=12,
+            seed=3,
+            enable_failure_detector=True,
+            fd_interval=20.0,
+            fd_timeout=80.0,
+            relay=True,
+            max_attempts=30,
+            retry_backoff=10.0,
+            trace=True,
+        )
+    )
+    cluster.crash_site(1, at=281.0)
+    cluster.recover_site(1, at=281.0 + 1127.0)
+    cluster.submit(
+        TransactionSpec.make("T0", 0, read_keys=["x0"], writes={"x0": 0}), at=1508.0
+    )
+    result = cluster.run(max_time=300_000.0, stop_when=cluster.await_specs(1))
+    assert result.serialization.ok, result.serialization.explain()
+    assert result.converged
+    assert result.incomplete_specs == 0
+    assert cluster.spec_status("T0").committed
+    # The deferral actually engaged: site 1 replayed a non-empty backlog.
+    replays = [
+        record
+        for record in cluster.trace.records
+        if record.kind == "rbp.recovery_replay"
+    ]
+    assert replays, "expected site 1 to defer deliveries during its transfer"
