@@ -30,7 +30,16 @@ PROTOCOL_LABELS = {
 }
 
 #: Background message kinds excluded from per-transaction cost accounting.
-BACKGROUND_KINDS = ("cbp.null", "fd.heartbeat", "abcast.token", "transport.ack")
+#: ``transport.retransmit`` covers ARQ repairs of lost datagrams — transport
+#: overhead, not protocol messages (the E1 cost model counts each protocol
+#: message once, however often the wire had to carry it).
+BACKGROUND_KINDS = (
+    "cbp.null",
+    "fd.heartbeat",
+    "abcast.token",
+    "transport.ack",
+    "transport.retransmit",
+)
 
 
 def make_cluster(protocol: str, **overrides: Any) -> Cluster:

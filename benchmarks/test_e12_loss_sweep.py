@@ -1,0 +1,142 @@
+"""E12 — Commit *through* loss and partition flaps (the ARQ transport axis).
+
+Beyond the paper's lossless LAN assumption: with the transport's ARQ mode
+(`reliable_links=True`) upholding the reliable-FIFO-link model over a lossy
+network, all four protocols must answer every client across
+``loss_rate ∈ {0, 1, 2, 5, 10}%`` and across short partition flaps — with
+the repair happening at the transport (bounded windowed retransmission),
+not by protocol-level retry.  Three claims, each asserted:
+
+1. zero unanswered clients and 1SR histories at every loss rate;
+2. ``rbp_write_timeouts ≈ 0``: stranded RBP write rounds are retransmitted
+   instead of retired by the ``write_grace`` watchdog;
+3. the sweep is deterministic, byte-identical between serial and sharded
+   (``jobs=N``) execution.
+"""
+
+from benchmarks.common import PROTOCOLS, bench_once, make_cluster, print_experiment_table
+from repro.analysis.experiment import run_sweep
+from repro.sim.faults import FaultSchedule
+from repro.workload.runner import ClosedLoopRunner
+from repro.workload.scenarios import get_scenario
+
+LOSS_RATES = (0.0, 0.01, 0.02, 0.05, 0.10)
+TRANSACTIONS = 16
+FD = dict(enable_failure_detector=True, fd_interval=20.0, fd_timeout=150.0)
+
+
+def loss_run(protocol: str, loss_rate: float, seed: int, flap: bool = False):
+    """One cluster run at ``loss_rate`` (optionally with partition flaps)."""
+    scenario = get_scenario("loss_sweep")
+    cluster = make_cluster(
+        protocol,
+        num_sites=4,
+        num_objects=scenario.workload.num_objects,
+        seed=seed,
+        loss_rate=loss_rate,
+        reliable_links=True,
+        max_attempts=40,
+        retry_backoff=5.0,
+        **FD,
+    )
+    if flap:
+        # Flaps shorter than the detector timeout: no view ever changes, so
+        # the dropped datagrams are purely the transport's to repair.  The
+        # cadence lands every split inside the ~500ms active window of the
+        # closed-loop workload.
+        FaultSchedule(cluster).flap(
+            [[0, 1, 2], [3]], at=80.0, hold=50.0, gap=120.0, cycles=3
+        )
+    runner = ClosedLoopRunner(
+        cluster,
+        scenario.for_sites(4),
+        mpl=scenario.suggested_mpl,
+        transactions=TRANSACTIONS,
+        think_time=20.0,
+    )
+    runner.start()
+    result = cluster.run(
+        max_time=5_000_000.0, stop_when=cluster.await_specs(TRANSACTIONS)
+    )
+    assert result.serialization.ok, result.serialization.explain()
+    assert result.converged, "replicas diverged"
+    return result
+
+
+def loss_scenario(protocol: str, loss_rate: float, seed: int) -> dict[str, float]:
+    """Sweep cell: module-level so ``jobs=N`` workers can unpickle it."""
+    result = loss_run(protocol, loss_rate, seed)
+    return {
+        "committed": float(result.committed_specs),
+        "unanswered": float(result.incomplete_specs),
+        "retransmissions": float(result.network_stats["retransmissions"]),
+        "write_timeouts": float(result.metrics.rbp_write_timeouts),
+        "duration": result.duration,
+    }
+
+
+def test_e12_loss_sweep(benchmark):
+    sweep = run_sweep(
+        "e12_loss_sweep",
+        loss_scenario,
+        parameters=LOSS_RATES,
+        protocols=PROTOCOLS,
+        seeds=(2098,),
+    )
+    print_experiment_table(sweep.table("committed", parameter_label="loss rate"))
+    print_experiment_table(sweep.table("retransmissions", parameter_label="loss rate"))
+    for rate in LOSS_RATES:
+        # Claim 1: every client answered, at every loss rate.
+        assert all(v == 0 for v in sweep.column(rate, "unanswered").values()), rate
+        assert all(
+            v == TRANSACTIONS for v in sweep.column(rate, "committed").values()
+        ), rate
+        repairs = sweep.column(rate, "retransmissions")
+        if rate == 0.0:
+            assert all(v == 0 for v in repairs.values())  # nothing to repair
+        elif rate >= 0.02:
+            # At 1% a short run's few drops can all land on acks, which the
+            # next cumulative ack repairs without any retransmission; from
+            # 2% up every protocol provably needed data-frame repairs.
+            assert all(v > 0 for v in repairs.values()), rate
+    # Claim 2: ARQ repairs stranded write rounds before the watchdog fires.
+    assert sweep.series("rbp", "write_timeouts") == [0.0] * len(LOSS_RATES)
+
+    bench_once(benchmark, loss_run, "rbp", 0.05, 2098)
+
+
+def test_e12_partition_flaps(benchmark):
+    from repro.analysis.report import Table
+
+    table = Table(
+        ["protocol", "committed", "retransmissions", "write timeouts"],
+        title="E12b: partition flaps (3 x 50ms splits) at 2% loss",
+    )
+    for protocol in PROTOCOLS:
+        result = loss_run(protocol, 0.02, seed=2098, flap=True)
+        table.add_row(
+            protocol,
+            result.committed_specs,
+            result.network_stats["retransmissions"],
+            result.metrics.rbp_write_timeouts,
+        )
+        assert result.incomplete_specs == 0
+        assert result.committed_specs == TRANSACTIONS
+        assert result.metrics.rbp_write_timeouts == 0
+    print_experiment_table(table)
+
+    bench_once(benchmark, loss_run, "rbp", 0.02, 2098, flap=True)
+
+
+def test_e12_sweep_parallel_determinism():
+    """``jobs=2`` shards the lossy cells across workers and must still fold
+    to byte-identical points (the acceptance criterion for the new axis)."""
+    kwargs = dict(
+        scenario=loss_scenario,
+        parameters=(0.0, 0.05),
+        protocols=("rbp", "cbp"),
+        seeds=(2098, 2099),
+    )
+    serial = run_sweep("e12_determinism", jobs=1, **kwargs)
+    sharded = run_sweep("e12_determinism", jobs=2, **kwargs)
+    assert serial.digest() == sharded.digest()

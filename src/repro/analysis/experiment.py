@@ -239,6 +239,18 @@ class ExperimentSweep:
         """Metric values for one protocol across the parameter axis."""
         return [self.value(parameter, protocol, metric) for parameter in self.parameters]
 
+    def column(self, parameter: Any, metric: str) -> dict[str, float]:
+        """Metric values for one parameter across protocols (a table row).
+
+        The transpose of :meth:`series`; sweep acceptance checks use it to
+        assert an invariant (e.g. zero unanswered clients) holds for every
+        protocol at one sweep point.
+        """
+        return {
+            protocol: self.value(parameter, protocol, metric)
+            for protocol in self.protocols
+        }
+
     def table(self, metric: str, parameter_label: str = "parameter") -> Table:
         """One table: rows = parameters, columns = protocols, cells = metric."""
         table = Table(

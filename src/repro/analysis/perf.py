@@ -314,6 +314,88 @@ def bench_e9_representative(quick: bool = False) -> BenchResult:
     )
 
 
+def bench_e12_loss_sweep(quick: bool = False) -> BenchResult:
+    """E12's shape: every protocol committing *through* 5% datagram loss and
+    partition flaps, with the ARQ transport (epochs, bounded window,
+    backed-off retransmission) doing the repairs.
+
+    The report embeds the repair counters: ``retransmissions`` is the
+    transport's bill for the loss, and ``rbp_write_timeouts`` — asserted
+    zero — is the proof the repairs land before the write-grace watchdog
+    would have retired the stalled rounds retryably.
+    """
+    from repro.core.cluster import Cluster, ClusterConfig
+    from repro.sim.faults import FaultSchedule
+    from repro.workload.generator import WorkloadConfig
+    from repro.workload.runner import ClosedLoopRunner
+
+    protocols = ("rbp",) if quick else ("rbp", "cbp", "abp", "p2p")
+    transactions = 12 if quick else 24
+    started = time.perf_counter()
+    events = 0
+    committed = 0
+    retransmissions = 0.0
+    write_timeouts = 0.0
+    sim_ms = 0.0
+    for protocol in protocols:
+        cluster = Cluster(
+            ClusterConfig(
+                protocol=protocol,
+                num_sites=4,
+                num_objects=96,
+                seed=97,
+                loss_rate=0.05,
+                reliable_links=True,
+                enable_failure_detector=True,
+                fd_interval=20.0,
+                fd_timeout=150.0,
+                relay=True,
+                max_attempts=40,
+                retry_backoff=5.0,
+            )
+        )
+        # Flaps shorter than the detector timeout: no view change, so every
+        # dropped datagram is the transport's to repair.  The cadence puts
+        # every split inside the closed-loop workload's active window.
+        FaultSchedule(cluster).flap(
+            [[0, 1, 2], [3]], at=80.0, hold=50.0, gap=120.0, cycles=3
+        )
+        runner = ClosedLoopRunner(
+            cluster,
+            WorkloadConfig(num_objects=96, num_sites=4, read_ops=2, write_ops=1),
+            mpl=4,
+            transactions=transactions,
+            think_time=20.0,
+        )
+        runner.start()
+        result = cluster.run(
+            max_time=5_000_000.0, stop_when=cluster.await_specs(transactions)
+        )
+        assert result.serialization.ok, result.serialization.explain()
+        assert result.converged, "replicas diverged"
+        assert result.incomplete_specs == 0, "unanswered clients under loss"
+        events += cluster.engine.events_processed
+        committed += result.committed_specs
+        retransmissions += result.network_stats["retransmissions"]
+        write_timeouts += result.metrics.rbp_write_timeouts
+        sim_ms += result.duration
+    wall = time.perf_counter() - started
+    assert write_timeouts == 0, "ARQ failed to repair a write round in time"
+    return BenchResult(
+        name="e12_loss_sweep",
+        wall_s=wall,
+        ops=events,
+        unit="events",
+        metrics={
+            "protocols": float(len(protocols)),
+            "committed": float(committed),
+            "retransmissions": retransmissions,
+            "rbp_write_timeouts": write_timeouts,
+            "sim_duration_ms": sim_ms,
+        },
+    )
+
+
 # -- sweep scaling (seed-sharded parallel sweeps) ------------------------------
 
 
@@ -413,6 +495,7 @@ def run_suite(quick: bool = False, jobs: int = 4) -> list[BenchResult]:
         bench_e1_representative(quick=quick),
         bench_e5_representative(quick=quick),
         bench_e9_representative(quick=quick),
+        bench_e12_loss_sweep(quick=quick),
         bench_sweep_scaling(jobs=jobs, quick=quick),
     ]
 

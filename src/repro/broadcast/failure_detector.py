@@ -62,6 +62,7 @@ class FailureDetector(Process):
         self.enabled = enabled
         self.suspected: set[int] = set()
         self.on_change: Optional[Callable[[set[int]], None]] = None
+        self._listeners: list[Callable[[set[int]], None]] = []
         self._last_heard = {peer: 0.0 for peer in range(num_sites) if peer != site}
         router.register(CHANNEL, self._on_heartbeat)
         if enabled:
@@ -96,9 +97,20 @@ class FailureDetector(Process):
             self._notify()
         self.schedule(self.interval, self._tick)
 
+    def add_listener(self, fn: Callable[[set[int]], None]) -> None:
+        """Additional suspicion-change subscriber.
+
+        ``on_change`` is a single slot owned by the membership service;
+        listeners are for everything else (e.g. the transport's
+        retransmission parking) and fire after it, in registration order.
+        """
+        self._listeners.append(fn)
+
     def _notify(self) -> None:
         if self.on_change is not None:
             self.on_change(set(self.suspected))
+        for listener in self._listeners:
+            listener(set(self.suspected))
 
     def on_recover(self) -> None:
         for peer in self._last_heard:

@@ -62,6 +62,14 @@ class ClusterConfig:
     latency: Optional[LatencyModel] = None  # default: UniformLatency(0.5, 1.5)
     loss_rate: float = 0.0
     bandwidth: Optional[float] = None  # bytes/ms per link; None = infinite
+    # Transport mode: None = ARQ exactly when loss_rate > 0 (lossless runs
+    # stay passthrough and bit-identical to the analytical cost model);
+    # True = ARQ always, required before FaultSchedule.flaky_links can
+    # inject loss mid-run on a lossless build; False = passthrough always
+    # (rejected when loss_rate > 0).
+    reliable_links: Optional[bool] = None
+    arq_window: int = 32
+    arq_max_backoff: float = 64.0
     relay: bool = False
     trace: bool = False
     # Failure handling.
@@ -100,6 +108,11 @@ class ClusterConfig:
             raise ValueError("num_sites must be at least 1")
         if self.num_objects < 1:
             raise ValueError("num_objects must be at least 1")
+        if self.reliable_links is False and self.loss_rate > 0:
+            raise ValueError(
+                "reliable_links=False with loss_rate > 0 would break the "
+                "reliable-FIFO-link assumption the protocols are built on"
+            )
 
 
 @dataclass
@@ -179,7 +192,15 @@ class Cluster:
     def _build(self) -> None:
         config = self.config
         for site in range(config.num_sites):
-            transport = ReliableTransport(self.engine, self.network, site)
+            transport = ReliableTransport(
+                self.engine,
+                self.network,
+                site,
+                reliable=config.reliable_links,
+                window=config.arq_window,
+                max_backoff=config.arq_max_backoff,
+                trace=self.trace,
+            )
             router = ChannelRouter(transport)
             reliable = ReliableBroadcast(
                 self.engine, router, site, config.num_sites, relay=config.relay
@@ -211,6 +232,9 @@ class Cluster:
                     self.engine, router, detector, site, config.num_sites
                 )
                 membership.add_listener(self._make_view_listener(site))
+                # Reachability hook: suspicion parks ARQ retransmission
+                # toward the suspected peers (no-op for passthrough).
+                detector.add_listener(transport.set_suspected)
                 self.detectors.append(detector)
                 self.memberships.append(membership)
 

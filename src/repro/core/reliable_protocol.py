@@ -104,9 +104,13 @@ class ReliableBroadcastReplica(Replica):
     #: Home-side mirror of the orphan watchdog: a write phase still waiting
     #: for acknowledgments after this long has lost a datagram for good (a
     #: transient partition shorter than the detector timeout drops messages
-    #: without ever changing the view, and the passthrough transport has no
-    #: ARQ at ``loss_rate == 0``).  Abort retryably instead of blocking the
-    #: client forever (see :meth:`_check_write_progress`).
+    #: without ever changing the view, and the *passthrough* transport never
+    #: retransmits).  Abort retryably instead of blocking the client
+    #: forever (see :meth:`_check_write_progress`).  With ARQ links
+    #: (``reliable_links=True`` or ``loss_rate > 0``) the transport repairs
+    #: such losses well inside this grace period, so the watchdog is a
+    #: last-resort backstop there and ``rbp_write_timeouts`` stays ~0 — the
+    #: E12 loss sweep asserts exactly that.
     write_grace = 1000.0
 
     def __init__(
@@ -243,7 +247,9 @@ class ReliableBroadcastReplica(Replica):
 
         A round can stall without any view change breaking the wait: a
         partition shorter than the detector timeout swallows the write (or
-        its ack) to a peer that stays in the view, and nothing retransmits.
+        its ack) to a peer that stays in the view, and the passthrough
+        transport never retransmits (ARQ links repair this long before the
+        grace period runs out).
         The timeout is *per quiet period*, not per transaction: each new
         round and each positive ack refreshes ``_write_progress``, so a
         healthy multi-write transaction whose rounds are merely slow is
@@ -398,8 +404,8 @@ class ReliableBroadcastReplica(Replica):
             # The home is still a member, so the vote path owns the wait —
             # make it observable, and keep watching: a partition the failure
             # detector never turns into a view change can have dropped the
-            # missing votes for good (the transport only retransmits on
-            # lossy links).  After a second full grace period with the tally
+            # missing votes for good (the passthrough transport never
+            # retransmits).  After a second full grace period with the tally
             # still stalled, stop waiting and ask.
             self.metrics.rbp_in_doubt_waits += 1
             self.trace.emit(

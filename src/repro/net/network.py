@@ -49,6 +49,10 @@ class NetworkStats:
     dropped_loss: int = 0
     dropped_partition: int = 0
     dropped_crashed: int = 0
+    #: Data frames re-sent by the ARQ transport.  Counted here (alongside
+    #: the ``transport.retransmit`` by_kind label) so experiments can report
+    #: repair traffic next to the loss/partition drop counters it answers.
+    retransmissions: int = 0
     by_kind: Counter = field(default_factory=Counter)
     bytes_by_kind: Counter = field(default_factory=Counter)
 
@@ -60,6 +64,7 @@ class NetworkStats:
             "dropped_loss": self.dropped_loss,
             "dropped_partition": self.dropped_partition,
             "dropped_crashed": self.dropped_crashed,
+            "retransmissions": self.retransmissions,
             "by_kind": dict(self.by_kind),
         }
 

@@ -1,46 +1,95 @@
-"""Per-link ARQ transport: reliable FIFO channels over a lossy network.
+"""Per-link ARQ transport: reliable FIFO channels over a faulty network.
 
 The paper assumes reliable FIFO links between correct, connected sites; the
-simulated :class:`repro.net.network.Network` can drop datagrams, so this
-transport restores the assumption with sequence numbers, cumulative
-acknowledgments and retransmission.
+simulated :class:`repro.net.network.Network` can drop datagrams (loss,
+partitions, crashed destinations), so this transport restores the assumption
+with sequence numbers, cumulative acknowledgments, bounded windowed
+retransmission and per-link incarnation epochs.
 
-Two modes, chosen automatically:
+Two modes, fixed at construction:
 
-- **passthrough** (``network.loss_rate == 0``): datagrams go straight
-  through with no framing or acks, so message accounting matches the paper's
-  analytical cost model exactly.
-- **ARQ** (lossy network): payloads are framed with per-link sequence
-  numbers; the receiver delivers in order and returns cumulative acks; the sender
-  retransmits unacked frames on a timer.  Transport frames are labelled
-  ``transport.ack`` / original payload kind so experiments can separate
-  protocol messages from transport overhead.
+- **passthrough**: datagrams go straight through with no framing or acks, so
+  message accounting matches the paper's analytical cost model exactly.
+  This is the default on a lossless network.
+- **ARQ** (lossy network, or ``reliable=True`` on a lossless one): payloads
+  are framed with per-link sequence numbers; the receiver delivers in order
+  and returns cumulative acks; the sender retransmits unacked frames on a
+  timer.  First transmissions keep the payload's own accounting label;
+  retransmissions are labelled ``transport.retransmit`` and acks
+  ``transport.ack`` so experiments can separate protocol messages from
+  transport overhead (E1's analytical comparison depends on this).
+
+Reliability machinery (ARQ mode):
+
+- **Sliding window.**  At most ``window`` frames per link are in flight;
+  further sends queue in FIFO order and are admitted as acks free slots, so
+  a dead link accumulates a bounded retransmission set instead of an
+  unbounded one.
+- **Retransmission with exponential backoff.**  Each silent retransmit
+  interval doubles the next one (up to ``max_backoff`` times the base
+  interval); any ack that makes progress resets the backoff.  A crashed or
+  partitioned peer therefore costs a geometrically decaying trickle, not a
+  go-back-N storm every interval forever.
+- **Reachability hook.**  :meth:`set_suspected` (wired to the failure
+  detector by the cluster) parks retransmission toward suspected peers
+  entirely and resumes it, with fresh backoff, when suspicion clears.
+- **Incarnation epochs.**  Each transport carries a per-site epoch, bumped
+  by :meth:`reset` when the site recovers from a crash (the counter lives on
+  the long-lived transport object, standing in for a durably logged
+  incarnation number).  Frames and acks carry both the sender's epoch and
+  the sender's belief about the receiver's epoch.  A peer that observes a
+  larger epoch re-frames its outstanding traffic from sequence zero for the
+  new incarnation; a receiver that sees a frame numbered against its
+  *previous* incarnation discards it but acks with the current epoch, which
+  is what teaches the sender to re-frame.  Without this handshake a
+  recovered site's peers would keep their old sequence state and every
+  post-recovery frame would buffer forever — a silent FIFO stall.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.net.network import Datagram, Network
 from repro.net.sizes import register_payload
 from repro.sim.engine import EventHandle, SimulationEngine
+from repro.sim.trace import TraceLog
+
+#: Accounting label for retransmitted data frames (first transmissions keep
+#: the payload's own kind; see NetworkStats.retransmissions).
+RETRANSMIT_KIND = "transport.retransmit"
+ACK_KIND = "transport.ack"
 
 
 @dataclass(slots=True)
 class Frame:
-    """ARQ data frame wrapping one upper-layer payload."""
+    """ARQ data frame wrapping one upper-layer payload.
+
+    ``src_epoch`` is the sender's incarnation; ``dst_epoch`` is the
+    incarnation of the receiver the sequence number was assigned against.
+    """
 
     seq: int
     payload: Any
     kind: str
+    src_epoch: int = 0
+    dst_epoch: int = 0
 
 
 @dataclass(slots=True)
 class AckFrame:
-    """Cumulative acknowledgment: everything below ``next_expected`` arrived."""
+    """Cumulative acknowledgment: everything below ``next_expected`` arrived.
+
+    Carries the same epoch pair as :class:`Frame` so a recovered receiver's
+    acks teach senders about the new incarnation even when the ack itself
+    acknowledges nothing.
+    """
 
     next_expected: int
+    src_epoch: int = 0
+    dst_epoch: int = 0
     kind: str = "transport.ack"
 
 
@@ -48,11 +97,17 @@ class AckFrame:
 class _LinkSendState:
     next_seq: int = 0
     unacked: dict[int, Frame] = field(default_factory=dict)
+    #: Payloads waiting for a window slot, FIFO: (payload, accounting label).
+    pending: deque = field(default_factory=deque)
+    #: Multiplier on the base retransmit interval; doubles on every silent
+    #: retransmission, resets to 1 on ack progress.
+    backoff: float = 1.0
     #: Reusable timer slot (see SimulationEngine.reschedule): the handle is
     #: kept across re-arms instead of cancel+push per ack/send cycle.
     retransmit_timer: Optional[EventHandle] = None
-    #: Deadline the timer owes a retransmission for; None = fully acked
-    #: (the timer may still be armed but fires as a no-op and is reused).
+    #: Deadline the timer owes a retransmission for; None = parked (fully
+    #: acked, or the peer is suspected down — the timer may still be armed
+    #: but fires as a no-op and is reused).
     retransmit_due: Optional[float] = None
 
 
@@ -67,6 +122,15 @@ class ReliableTransport:
 
     Exactly one transport is attached per site; upper layers register a
     delivery callback with :meth:`set_receiver` and send with :meth:`send`.
+
+    ``reliable=None`` (the default) picks ARQ exactly when the network is
+    lossy, keeping lossless runs passthrough (and bit-identical to the
+    analytical cost model).  ``reliable=True`` forces ARQ on a lossless
+    network — required before ``FaultSchedule.flaky_links`` can inject loss
+    mid-run, and for partitions whose dropped datagrams should be repaired
+    rather than retried at the protocol layer.  ``reliable=False`` on a
+    lossy network is an error: it would silently break the reliable-link
+    assumption every protocol in this library is built on.
     """
 
     def __init__(
@@ -75,15 +139,41 @@ class ReliableTransport:
         network: Network,
         site: int,
         retransmit_interval: Optional[float] = None,
+        reliable: Optional[bool] = None,
+        window: int = 32,
+        max_backoff: float = 64.0,
+        trace: Optional[TraceLog] = None,
     ):
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        if max_backoff < 1:
+            raise ValueError("max_backoff must be at least 1 (a multiplier)")
+        if reliable is False and network.loss_rate > 0:
+            raise ValueError(
+                "reliable=False (passthrough) on a lossy network would break "
+                "the reliable-FIFO-link assumption; drop reliable_links=False "
+                "or build the network with loss_rate=0"
+            )
         self.engine = engine
         self.network = network
         self.site = site
-        self.passthrough = network.loss_rate == 0
+        self.passthrough = (network.loss_rate == 0) if reliable is None else not reliable
+        self.window = window
+        self.max_backoff = max_backoff
+        self.trace = trace
         mean = network.latency.mean()
         self.retransmit_interval = (
             retransmit_interval if retransmit_interval is not None else max(4 * mean, 1.0)
         )
+        #: This site's incarnation number, bumped by :meth:`reset`.
+        self.epoch = 0
+        #: Largest incarnation observed per peer.  Survives :meth:`reset`:
+        #: losing it would only cost an extra resync round trip, but keeping
+        #: it keeps recovery deterministic and cheap.
+        self._peer_epoch: dict[int, int] = {}
+        #: Peers the failure detector currently suspects (see
+        #: :meth:`set_suspected`); retransmission toward them is parked.
+        self._suspected: set[int] = set()
         self._receiver: Optional[Callable[[int, Any], None]] = None
         self._send_state: dict[int, _LinkSendState] = {}
         self._recv_state: dict[int, _LinkRecvState] = {}
@@ -100,25 +190,55 @@ class ReliableTransport:
             return
         state = self._send_state.setdefault(dst, _LinkSendState())
         label = kind if kind is not None else getattr(payload, "kind", type(payload).__name__)
-        frame = Frame(state.next_seq, payload, label)
-        state.next_seq += 1
-        state.unacked[frame.seq] = frame
-        self.network.send(self.site, dst, frame, label)
-        self._arm_retransmit(dst, state)
+        if len(state.unacked) >= self.window:
+            state.pending.append((payload, label))
+            return
+        self._admit(dst, state, payload, label)
 
     def reset(self) -> None:
-        """Drop all link state (used when a site recovers from a crash).
+        """Begin a new incarnation after a crash (drop all link state).
 
-        Peers' states toward this site are reset lazily by sequence-number
-        mismatch being impossible here: recovery in this library goes through
-        a state transfer that supersedes in-flight traffic, so simply
-        clearing is sufficient for the experiments we run.
+        Bumps :attr:`epoch` so peers can tell post-recovery traffic from the
+        previous incarnation's: frames we now send carry the new epoch (a
+        peer seeing it re-frames its side of the link from sequence zero),
+        and frames peers send numbered against our old incarnation are
+        discarded but acked with the new epoch, which resynchronizes the
+        sender.  Peer-side retransmit timers keep firing until that
+        handshake completes, but each firing toward a down site parks itself
+        behind exponential backoff, so the churn is bounded.
         """
         for state in self._send_state.values():
             if state.retransmit_timer is not None:
                 state.retransmit_timer.cancel()
         self._send_state.clear()
         self._recv_state.clear()
+        self._suspected = set()
+        self.epoch += 1
+
+    def set_suspected(self, suspected: set[int]) -> None:
+        """Reachability hook: park retransmission toward suspected peers.
+
+        Wired to the failure detector's suspicion changes by the cluster.
+        Newly suspected peers have their retransmit deadline parked (the
+        armed timer fires as a no-op and is reused later); peers whose
+        suspicion clears get fresh backoff and an immediate re-arm if frames
+        are still outstanding toward them.
+        """
+        if self.passthrough:
+            return
+        previous = self._suspected
+        self._suspected = set(suspected)
+        for peer in sorted(self._suspected - previous):
+            state = self._send_state.get(peer)
+            if state is not None:
+                state.retransmit_due = None
+        for peer in sorted(previous - self._suspected):
+            state = self._send_state.get(peer)
+            if state is None:
+                continue
+            state.backoff = 1.0
+            if state.unacked or state.pending:
+                self._arm_retransmit(peer, state)
 
     # -- internals ---------------------------------------------------------
 
@@ -132,12 +252,102 @@ class ReliableTransport:
         elif isinstance(payload, Frame):
             self._on_frame(datagram.src, payload)
         else:
-            # Raw payload from a passthrough peer (mixed configs are not
-            # expected, but handle it rather than dropping silently).
-            self._deliver(datagram.src, payload)
+            # A raw (unframed) payload reaching an ARQ endpoint means some
+            # peer runs in passthrough mode.  Delivering it would bypass the
+            # FIFO machinery and let framing bugs masquerade as reordering
+            # or duplication, so mixed configs are an explicit error.
+            if self.trace is not None:
+                self.trace.emit(
+                    self.engine.now,
+                    f"transport{self.site}",
+                    "transport.unframed",
+                    src=datagram.src,
+                    payload_kind=datagram.kind,
+                )
+            raise RuntimeError(
+                f"site {self.site} (ARQ mode) received an unframed payload of "
+                f"kind {datagram.kind!r} from site {datagram.src}: mixed "
+                "passthrough/ARQ transport configurations are not supported"
+            )
+
+    def _note_peer_epoch(self, peer: int, peer_epoch: int) -> bool:
+        """Track ``peer``'s incarnation; False means the message is stale.
+
+        Seeing a larger epoch means the peer crashed and recovered: its
+        receive state for us is gone (our outstanding frames must be
+        re-framed from sequence zero) and its old send stream toward us is
+        dead (our buffered out-of-order frames from it can never be
+        completed, their FIFO predecessors died with the crash).
+        """
+        known = self._peer_epoch.get(peer, 0)
+        if peer_epoch < known:
+            return False
+        if peer_epoch > known:
+            self._peer_epoch[peer] = peer_epoch
+            self._relink(peer)
+        return True
+
+    def _relink(self, peer: int) -> None:
+        """Restart the link to ``peer`` for its new incarnation."""
+        self._recv_state.pop(peer, None)
+        old = self._send_state.pop(peer, None)
+        if old is None:
+            return
+        if old.retransmit_timer is not None:
+            old.retransmit_timer.cancel()
+        state = _LinkSendState()
+        self._send_state[peer] = state
+        # Re-frame in the original FIFO order: unacked frames (by sequence)
+        # first, then payloads that never got a window slot.
+        for seq in sorted(old.unacked):
+            frame = old.unacked[seq]
+            if len(state.unacked) < self.window:
+                self._admit(peer, state, frame.payload, frame.kind, resend=True)
+            else:
+                state.pending.append((frame.payload, frame.kind))
+        state.pending.extend(old.pending)
+
+    def _admit(
+        self,
+        dst: int,
+        state: _LinkSendState,
+        payload: Any,
+        label: str,
+        resend: bool = False,
+    ) -> None:
+        """Assign the next sequence number, transmit, arm the timer."""
+        frame = Frame(
+            state.next_seq, payload, label, self.epoch, self._peer_epoch.get(dst, 0)
+        )
+        state.next_seq += 1
+        state.unacked[frame.seq] = frame
+        self._transmit(dst, frame, resend)
+        self._arm_retransmit(dst, state)
+
+    def _transmit(self, dst: int, frame: Frame, resend: bool) -> None:
+        if resend:
+            # Retransmissions get their own accounting label so protocol
+            # message counts (E1) keep matching the analytical cost model.
+            self.network.stats.retransmissions += 1
+            self.network.send(self.site, dst, frame, RETRANSMIT_KIND)
+        else:
+            self.network.send(self.site, dst, frame, frame.kind)
+
+    def _refill(self, dst: int, state: _LinkSendState) -> None:
+        while state.pending and len(state.unacked) < self.window:
+            payload, label = state.pending.popleft()
+            self._admit(dst, state, payload, label)
 
     def _on_frame(self, src: int, frame: Frame) -> None:
+        if not self._note_peer_epoch(src, frame.src_epoch):
+            return  # a previous incarnation of src; its stream is dead
         state = self._recv_state.setdefault(src, _LinkRecvState())
+        if frame.dst_epoch != self.epoch:
+            # Numbered against our previous incarnation: the sequence means
+            # nothing to our fresh receive state.  Ack with the current
+            # epoch; _note_peer_epoch on the sender re-frames its traffic.
+            self._send_ack(src, state)
+            return
         if frame.seq == state.next_expected:
             state.next_expected += 1
             self._deliver(src, frame.payload)
@@ -148,42 +358,63 @@ class ReliableTransport:
         elif frame.seq > state.next_expected:
             state.buffer[frame.seq] = frame
         # Always (re)acknowledge cumulatively.
-        self.network.send(self.site, src, AckFrame(state.next_expected), "transport.ack")
+        self._send_ack(src, state)
+
+    def _send_ack(self, src: int, state: _LinkRecvState) -> None:
+        ack = AckFrame(state.next_expected, self.epoch, self._peer_epoch.get(src, 0))
+        self.network.send(self.site, src, ack, ACK_KIND)
 
     def _on_ack(self, src: int, ack: AckFrame) -> None:
+        if not self._note_peer_epoch(src, ack.src_epoch):
+            return
+        if ack.dst_epoch != self.epoch:
+            return  # acknowledges frames of our previous incarnation
         state = self._send_state.get(src)
         if state is None:
             return
-        for seq in [s for s in state.unacked if s < ack.next_expected]:
+        acked = [s for s in state.unacked if s < ack.next_expected]
+        for seq in acked:
             del state.unacked[seq]
+        if acked:
+            state.backoff = 1.0  # forward progress
+            self._refill(src, state)
         if not state.unacked:
             # Park rather than cancel: the armed handle stays in the heap
             # and is reused (deferred in place) by the next send, so the
             # steady ack/send churn creates no heap garbage at all.
             state.retransmit_due = None
+        elif acked:
+            # Progress reset the backoff; pull the (possibly backed-off)
+            # deadline back in for the frames still outstanding.
+            state.retransmit_due = None
+            self._arm_retransmit(src, state)
 
     def _arm_retransmit(self, dst: int, state: _LinkSendState) -> None:
-        if state.retransmit_due is not None:
-            return  # an earlier deadline is already owed
-        state.retransmit_due = self.engine.now + self.retransmit_interval
+        if state.retransmit_due is not None or dst in self._suspected:
+            return  # an earlier deadline is owed, or the peer is parked
+        delay = self.retransmit_interval * state.backoff
+        state.retransmit_due = self.engine.now + delay
         state.retransmit_timer = self.engine.reschedule(
-            state.retransmit_timer, self.retransmit_interval, self._retransmit, dst
+            state.retransmit_timer, delay, self._retransmit, dst
         )
 
     def _retransmit(self, dst: int) -> None:
         state = self._send_state.get(dst)
         if state is None or state.retransmit_due is None or not state.unacked:
-            return  # parked no-op: everything was acked since arming
+            return  # parked no-op: acked, parked, or reset since arming
         if not self.network.site_is_up(self.site):
             # Re-armed by the next send after recovery (reset() clears us).
             state.retransmit_due = None
             return
         for seq in sorted(state.unacked):
-            frame = state.unacked[seq]
-            self.network.send(self.site, dst, frame, frame.kind)
-        state.retransmit_due = self.engine.now + self.retransmit_interval
+            self._transmit(dst, state.unacked[seq], True)
+        # Exponential backoff: each silent interval doubles the next one so
+        # a dead or partitioned peer costs a decaying trickle, not a storm.
+        state.backoff = min(state.backoff * 2, self.max_backoff)
+        delay = self.retransmit_interval * state.backoff
+        state.retransmit_due = self.engine.now + delay
         state.retransmit_timer = self.engine.reschedule(
-            state.retransmit_timer, self.retransmit_interval, self._retransmit, dst
+            state.retransmit_timer, delay, self._retransmit, dst
         )
 
     def _deliver(self, src: int, payload: Any) -> None:

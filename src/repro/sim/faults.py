@@ -59,19 +59,43 @@ class FaultSchedule:
         self._schedule(at, "heal", None, self.cluster.heal_partition)
         return self
 
+    def flap(
+        self,
+        groups: list[list[int]],
+        at: float,
+        hold: float,
+        gap: float,
+        cycles: int,
+    ) -> "FaultSchedule":
+        """``cycles`` short partitions: split into ``groups`` for ``hold``
+        time units, heal, wait ``gap``, repeat.
+
+        The flapping-partition shape of the E12 loss sweep: with ARQ
+        transports, datagrams dropped during each split are retransmitted
+        after the heal, so transactions finish instead of being retried.
+        """
+        if cycles < 1:
+            raise ValueError("cycles must be at least 1")
+        start = at
+        for _ in range(cycles):
+            self.partition(groups, at=start)
+            self.heal(at=start + hold)
+            start += hold + gap
+        return self
+
     def flaky_links(self, loss_rate: float, at: float, until: Optional[float] = None) -> "FaultSchedule":
         """Raise the network's loss rate at ``at`` (and restore at ``until``).
 
-        Only meaningful when the cluster was built with a lossy-capable
-        transport (any ``loss_rate`` > 0 enables ARQ); raising loss on a
-        passthrough transport would break the reliable-link assumption, so
-        this guards against it.
+        Only meaningful when the cluster's transports run in ARQ mode
+        (``reliable_links=True``, or any construction-time ``loss_rate`` >
+        0); raising loss on passthrough transports would break the
+        reliable-link assumption, so this guards against it.
         """
         network = self.cluster.network
-        if network.loss_rate == 0 and loss_rate > 0:
+        if loss_rate > 0 and any(t.passthrough for t in self.cluster.transports):
             raise ValueError(
-                "flaky_links needs a cluster built with loss_rate > 0 "
-                "(the ARQ transport must be active)"
+                "flaky_links needs the ARQ transport on every site: build "
+                "the cluster with reliable_links=True (or loss_rate > 0)"
             )
         previous = network.loss_rate
 

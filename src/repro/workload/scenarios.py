@@ -78,6 +78,15 @@ SCENARIOS: dict[str, Scenario] = {
             write_ops=8,
             mpl=4,
         ),
+        _make(
+            "loss_sweep",
+            "small read-modify-write transactions for the E12 loss/partition"
+            " sweep: low contention so stalls are the transport's fault",
+            num_objects=96,
+            read_ops=2,
+            write_ops=1,
+            mpl=4,
+        ),
     )
 }
 

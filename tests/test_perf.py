@@ -12,6 +12,7 @@ def test_quick_suite_runs_and_round_trips(tmp_path):
         "e1_message_cost_cbp",
         "e5_throughput_abp",
         "e9_failover_rbp",
+        "e12_loss_sweep",
         "sweep_scaling_rbp",
     ]
     for result in results:
