@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Regenerate every experiment table (E1..E12) in one run.
+"""Regenerate every experiment table (E1..E13) in one run.
 
 This is the reproduction entry point referenced by EXPERIMENTS.md: it
 invokes the benchmark suite with output capture disabled so all result
@@ -54,6 +54,7 @@ EXPERIMENTS = {
     "e10": "test_e10_ablations.py",
     "e11": "test_e11_bytes.py",
     "e12": "test_e12_loss_sweep.py",
+    "e13": "test_e13_churn_soak.py",
 }
 
 

@@ -396,6 +396,53 @@ def bench_e12_loss_sweep(quick: bool = False) -> BenchResult:
     )
 
 
+def bench_e13_churn_soak(quick: bool = False) -> BenchResult:
+    """E13's shape: rolling-restart churn soaks with the oracles armed,
+    probed along the size axis.
+
+    Each probe is a complete :func:`repro.workload.soak.run_churn_soak`
+    cell — scaled failure-detector cadence, seeded churn plan, closed-loop
+    clients, ring-buffer tracing — so the wall-clock covers everything a
+    real E13 sweep pays per cell, state transfers included.  The headline
+    metric is ``max_sites_at_interactive_speed``: the largest probed
+    cluster whose soak advances simulated time at least as fast as wall
+    time, for RBP (the suite's slowest protocol at scale — its per-write
+    vote rounds are O(n) messages each).  Later PRs push this number up.
+    """
+    from repro.workload.soak import SoakConfig, run_churn_soak
+
+    sizes = (12, 24) if quick else (50, 100, 200)
+    duration = 8_000.0 if quick else 20_000.0
+    started = time.perf_counter()
+    events = 0
+    metrics: dict[str, float] = {}
+    max_interactive = 0.0
+    for sites in sizes:
+        cell_started = time.perf_counter()
+        cell = run_churn_soak(
+            "rbp",
+            SoakConfig(sites=sites, duration=duration, trace=True, trace_capacity=5_000),
+            seed=1,
+        )
+        cell_wall = time.perf_counter() - cell_started
+        speed = (cell["duration_ms"] / 1_000.0) / cell_wall if cell_wall > 0 else 0.0
+        events += int(cell["events"])
+        metrics[f"speed_x_{sites}_sites"] = speed
+        metrics[f"committed_{sites}_sites"] = cell["committed"]
+        metrics[f"max_stall_ms_{sites}_sites"] = cell["max_stall_ms"]
+        if speed >= 1.0:
+            max_interactive = float(sites)
+    metrics["max_sites_at_interactive_speed"] = max_interactive
+    metrics["sim_duration_ms_per_cell"] = duration
+    return BenchResult(
+        name="e13_churn_soak",
+        wall_s=time.perf_counter() - started,
+        ops=events,
+        unit="events",
+        metrics=metrics,
+    )
+
+
 # -- sweep scaling (seed-sharded parallel sweeps) ------------------------------
 
 
@@ -496,6 +543,7 @@ def run_suite(quick: bool = False, jobs: int = 4) -> list[BenchResult]:
         bench_e5_representative(quick=quick),
         bench_e9_representative(quick=quick),
         bench_e12_loss_sweep(quick=quick),
+        bench_e13_churn_soak(quick=quick),
         bench_sweep_scaling(jobs=jobs, quick=quick),
     ]
 

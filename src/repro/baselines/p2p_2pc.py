@@ -168,7 +168,11 @@ class PointToPointReplica(Replica):
             self._abort_everywhere(tx, AbortReason.DEADLOCK)
             return
         round_.acks.add(ack.site)
-        if round_.acks >= set(self.view_members):
+        # Length first — per-ack member-set builds made a round O(n^2);
+        # the superset check stays authoritative (departed sites linger).
+        if len(round_.acks) >= len(self.view_members) and round_.acks >= set(
+            self.view_members
+        ):
             if round_.timeout is not None:
                 round_.timeout.cancel()
             del self._write_round[ack.tx]
@@ -208,6 +212,10 @@ class PointToPointReplica(Replica):
         tally = self._votes.get(tx.tx_id)
         if tally is None:
             return
+        if len(tally) < len(self.view_members):
+            # Cheap necessary condition; keeps the per-vote tally check
+            # O(1) until the deciding vote (see rbp's _check_votes).
+            return
         members = set(self.view_members)
         if not members <= set(tally):
             return
@@ -241,6 +249,11 @@ class PointToPointReplica(Replica):
         if tx is not None:
             self._write_queue.pop(tx_id, None)
             self.commit_home(tx, installed)
+        else:
+            # Cohort side (or a home whose client context died with a
+            # crash): record a provisional writer so the 1SR version order
+            # stays dense even if the initiator never records the commit.
+            self.recorder.record_commit_provisional(tx_id, self.site, installed, self.now)
 
     def _abort_everywhere(self, tx: Transaction, reason: AbortReason) -> None:
         round_ = self._write_round.pop(tx.tx_id, None)
@@ -265,6 +278,42 @@ class PointToPointReplica(Replica):
         if tx is not None and not tx.terminal:
             self._write_queue.pop(tx_id, None)
             self.abort_home(tx, local_reason)
+
+    # -- view changes ---------------------------------------------------------------------
+
+    def on_view_change(self, members: list[int], has_quorum: bool) -> None:
+        """Re-evaluate rounds that wait on *all* view members.
+
+        Write rounds and 2PC tallies complete only when every view member
+        has answered.  A member that crashed out of the view will never
+        answer, so without this hook a round started before the crash waits
+        forever (its locks wedging every later writer of the same keys).  A
+        member that *joined* mid-2PC never saw the prepare; re-send it —
+        the joiner votes from its current (post-recovery) state, which is a
+        NO for any transaction it does not hold buffered writes for.
+        """
+        super().on_view_change(members, has_quorum)
+        view = set(self.view_members)
+        for tx_id in sorted(self._write_round):
+            tx = self.local.get(tx_id)
+            round_ = self._write_round[tx_id]
+            if tx is None or tx.terminal:
+                continue
+            if round_.acks >= view:
+                if round_.timeout is not None:
+                    round_.timeout.cancel()
+                del self._write_round[tx_id]
+                self._send_next_write(tx)
+            # A joined member missing this round's write never acks; the
+            # write timeout aborts and the client retry re-disseminates.
+        for tx_id in sorted(self._votes):
+            tx = self.local.get(tx_id)
+            if tx is None or tx.terminal:
+                continue
+            for dst in sorted(view - set(self._votes[tx_id])):
+                if dst != self.site:
+                    self.router.send(dst, CHANNEL, P2pPrepare(tx_id), "p2p.prepare")
+            self._check_votes(tx)
 
     # -- deadlock detection ---------------------------------------------------------------
 

@@ -64,6 +64,9 @@ class FailureDetector(Process):
         self.on_change: Optional[Callable[[set[int]], None]] = None
         self._listeners: list[Callable[[set[int]], None]] = []
         self._last_heard = {peer: 0.0 for peer in range(num_sites) if peer != site}
+        # The heartbeat fan-out list never changes; building it afresh on
+        # every tick cost an O(n) allocation per site per interval.
+        self._peers = tuple(peer for peer in range(num_sites) if peer != site)
         router.register(CHANNEL, self._on_heartbeat)
         if enabled:
             self.schedule(self.interval, self._tick)
@@ -85,8 +88,7 @@ class FailureDetector(Process):
     def _tick(self) -> None:
         if not self.enabled:
             return
-        peers = [p for p in range(self.num_sites) if p != self.site]
-        self.router.multicast(peers, CHANNEL, _HEARTBEAT, "fd.heartbeat")
+        self.router.multicast(self._peers, CHANNEL, _HEARTBEAT, "fd.heartbeat")
         newly = {
             peer
             for peer, heard in self._last_heard.items()
@@ -96,6 +98,22 @@ class FailureDetector(Process):
             self.suspected = newly
             self._notify()
         self.schedule(self.interval, self._tick)
+
+    def refresh(self, peer: int) -> None:
+        """Direct proof of life for ``peer`` outside the heartbeat channel
+        (e.g. a membership join request).  Treat it like a heartbeat:
+        without this, a recovering site that just announced itself can be
+        re-suspected — and evicted from the view — on the coordinator's
+        next tick, before its own heartbeats resume.  Messages multicast
+        during that eviction window never reach the joiner, and the state
+        transfer's clock cut does not cover them: a permanent causal gap.
+        """
+        if peer == self.site or peer not in self._last_heard:
+            return
+        self._last_heard[peer] = self.now
+        if peer in self.suspected:
+            self.suspected.discard(peer)
+            self._notify()
 
     def add_listener(self, fn: Callable[[set[int]], None]) -> None:
         """Additional suspicion-change subscriber.

@@ -47,6 +47,13 @@ class BroadcastMessage:
     id: MessageId
     payload: Any
     kind: str = field(default="")
+    #: Memoized wire size.  An envelope is sent once per group member (and
+    #: again by every relay), and its payload may carry an O(n) vector
+    #: clock — re-traversing it per destination made a single broadcast
+    #: cost O(n^2) in size estimation alone.  Payloads are immutable once
+    #: broadcast (the same object is delivered at every site; mutation
+    #: would leak state across sites), so the first estimate is final.
+    _size: int = field(default=-1, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.kind:
@@ -67,12 +74,14 @@ class BroadcastMessage:
         # interned (so its UTF-8 length memoizes on first sight).  Byte-
         # identical to the generic __slots__ traversal over (id, payload,
         # kind) — the shortcut skips the per-field getattr dispatch only.
-        return (
-            OBJECT_OVERHEAD
-            + self.id.__wire_size__()
-            + estimate_size(self.payload)
-            + estimate_size(self.kind)
-        )
+        if self._size < 0:
+            self._size = (
+                OBJECT_OVERHEAD
+                + self.id.__wire_size__()
+                + estimate_size(self.payload)
+                + estimate_size(self.kind)
+            )
+        return self._size
 
     def __str__(self) -> str:
         return f"{self.id}[{self.kind}]"

@@ -97,6 +97,30 @@ class AtomicBroadcastReplica(Replica):
         """Skip the total-order prefix a state-transfer snapshot covers."""
         self._expected_index = max(self._expected_index, next_index)
 
+    def export_protocol_state(self) -> Optional[dict]:
+        """Ship the causally pre-shipped write sets with a state transfer.
+
+        In the shipped/locked variants a write set travels causally ahead of
+        its totally-ordered commit request.  A write set the donor delivered
+        *before* its export whose commit request orders *after* it would be
+        unobtainable for the rejoiner (the causal fast-forward skips the
+        covered prefix) — certification would then crash on the missing
+        writes.  The bundled variant carries writes inside the request and
+        needs nothing.
+        """
+        if self.variant == "bundled":
+            return None
+        return {
+            "shipped": tuple(
+                (tx, tuple(sorted(writes.items())))
+                for tx, writes in sorted(self._shipped.items())
+            )
+        }
+
+    def adopt_protocol_state(self, state: dict) -> None:
+        for tx, writes in state["shipped"]:
+            self._shipped.setdefault(tx, dict(writes))
+
     # -- home side ------------------------------------------------------------------
 
     def start_update(self, tx: Transaction) -> None:
@@ -185,3 +209,10 @@ class AtomicBroadcastReplica(Replica):
         if tx is not None and request.home == self.site:
             self.locks.release_all(tx.tx_id)
             self.commit_home(tx, installed)
+        else:
+            # Cohort, or a home whose client context died with a crash:
+            # certification committed the transaction group-wide, so record
+            # a provisional writer for the 1SR version order.
+            self.recorder.record_commit_provisional(
+                request.tx, self.site, installed, self.now
+            )

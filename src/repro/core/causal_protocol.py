@@ -105,6 +105,13 @@ class CausalBroadcastReplica(Replica):
         self._dead: set[str] = set()
         self._finished: set[str] = set()
         self._nacked_by_me: set[str] = set()
+        #: Causal deliveries deferred while a state transfer is in flight
+        #: (message, envelope), replayed in :meth:`on_recovery_complete`.
+        #: Processing them live would race the snapshot: conflict resolution
+        #: against the stale pre-crash store could NACK transactions the
+        #: rest of the group is about to commit, and any write applied now
+        #: would be clobbered by the install.
+        self._recovery_backlog: list[tuple[BroadcastMessage, CausalEnvelope]] = []
         self._last_broadcast = 0.0
         self.nacks_sent = 0
         if heartbeat_interval is not None:
@@ -168,6 +175,9 @@ class CausalBroadcastReplica(Replica):
     # -- causal delivery --------------------------------------------------------
 
     def _on_deliver(self, message: BroadcastMessage, envelope: CausalEnvelope) -> None:
+        if self.recovering:
+            self._recovery_backlog.append((message, envelope))
+            return
         sender = message.sender
         clock = envelope.vc
         payload = envelope.payload
@@ -391,9 +401,18 @@ class CausalBroadcastReplica(Replica):
             return
         if state.waiting:
             return
-        if set(state.granted) != set(state.writes):
+        # Length guards first: this check runs on every grant and every
+        # echo, and rebuilding these sets each time made the commit path
+        # O(n^2) per transaction.  ``granted``/``echoes`` are sets and
+        # ``writes`` is keyed by object, so equal length is necessary —
+        # the full comparisons below remain authoritative.
+        if len(state.granted) != len(state.writes) or set(state.granted) != set(
+            state.writes
+        ):
             return
-        if not set(self.view_members) <= state.echoes:
+        if len(state.echoes) < len(self.view_members) or not set(
+            self.view_members
+        ) <= state.echoes:
             return
         state.committed = True
         installed = self.install_writes(state.tx, state.writes)
@@ -401,16 +420,30 @@ class CausalBroadcastReplica(Replica):
         self._states.pop(state.tx, None)
         self._finished.add(state.tx)
         self.trace.emit(self.now, self.name, "cbp.applied", tx=state.tx)
-        if state.home == self.site:
-            tx = self.local.get(state.tx)
-            if tx is not None:
-                self.commit_home(tx, installed)
+        tx = self.local.get(state.tx) if state.home == self.site else None
+        if tx is not None:
+            self.commit_home(tx, installed)
+        else:
+            # Cohort, or a home that lost the client context in a crash:
+            # the group commits without the initiator (implicit acks need
+            # no reply from it), so keep the version order dense for the
+            # 1SR checker even when nobody ever calls record_commit.
+            self.recorder.record_commit_provisional(
+                state.tx, self.site, installed, self.now
+            )
 
     # -- heartbeats (null messages) ---------------------------------------------------
 
     def _heartbeat(self) -> None:
         assert self.heartbeat_interval is not None
-        if self.now - self._last_broadcast >= self.heartbeat_interval:
+        # No broadcasts while a state transfer is in flight: a null message
+        # stamped with our stale pre-crash clock can dominate an *old*
+        # commit request's entry and hand the group an implicit yes for a
+        # transaction whose state this site lost in the crash.  Staying
+        # silent instead is safe: our first post-install broadcast carries
+        # the donor's clock, so every transaction it implicitly acknowledges
+        # is covered by the snapshot or the adopted in-flight state.
+        if not self.recovering and self.now - self._last_broadcast >= self.heartbeat_interval:
             self._broadcast(CbpNull(self.site))
         # detcheck: ignore[P203] — periodic tick reschedule (see __init__).
         self.schedule(self.heartbeat_interval, self._heartbeat)
@@ -421,6 +454,146 @@ class CausalBroadcastReplica(Replica):
         super().on_crash()
         self._states.clear()
         self._nacked_by_me.clear()
+        self._recovery_backlog.clear()
+
+    def export_protocol_state(self) -> Optional[dict]:
+        """Serialize in-flight transaction state for a state transfer.
+
+        The committed-store snapshot alone is not enough for CBP: a
+        transaction still in flight at export time has its writes in no
+        site's store, only in the group's ``_TxState`` books — and once the
+        rejoiner's fast-forwarded clock starts implicitly acknowledging it,
+        the survivors *will* commit it.  Shipping the donor's in-flight
+        books (plus its finished/dead sets and per-key lock-queue order, so
+        the rejoiner grants locks in the same causal-delivery order every
+        other site uses) closes the gap; without it the rejoined replica
+        permanently misses every transaction that was in flight during the
+        transfer — the recovered-site divergence the churn soaks exposed.
+
+        Everything is copied into plain tuples: the donor keeps mutating
+        its live state while the reply is in flight.
+        """
+        states = []
+        for _, state in sorted(self._states.items()):
+            states.append(
+                {
+                    "tx": state.tx,
+                    "home": state.home,
+                    "priority": tuple(state.priority),
+                    "writes": tuple(sorted(state.writes.items())),
+                    "write_clocks": tuple(
+                        (key, tuple(clock.entries))
+                        for key, clock in sorted(state.write_clocks.items())
+                    ),
+                    "all_writes_seen": state.all_writes_seen,
+                    "granted": tuple(sorted(state.granted)),
+                    "cr_entry": state.cr_entry,
+                    "echoes": tuple(sorted(state.echoes)),
+                    "endorsed": state.endorsed,
+                }
+            )
+        keys: set[str] = set()
+        for state in self._states.values():
+            keys.update(state.writes)
+        lock_queues = {
+            key: tuple(
+                request.tx
+                for request in self.locks.queued(key)
+                if request.tx in self._states
+            )
+            for key in sorted(keys)
+        }
+        return {
+            "finished": tuple(sorted(self._finished)),
+            "dead": tuple(sorted(self._dead)),
+            "states": tuple(states),
+            "lock_queues": lock_queues,
+        }
+
+    def adopt_protocol_state(self, state: dict) -> None:
+        """Install a donor's in-flight books (rejoiner side, at snapshot
+        install time).  Replaces wholesale: anything built locally from the
+        stale pre-crash state is released and dropped."""
+        for tx_id in sorted(self._states):
+            self.locks.release_all(tx_id)
+        self._states.clear()
+        self._finished = set(state["finished"])
+        self._dead = set(state["dead"])
+        for exported in state["states"]:
+            adopted = _TxState(
+                exported["tx"], exported["home"], tuple(exported["priority"])
+            )
+            adopted.writes = dict(exported["writes"])
+            adopted.write_clocks = {
+                key: VectorClock(list(entries))
+                for key, entries in exported["write_clocks"]
+            }
+            adopted.all_writes_seen = exported["all_writes_seen"]
+            adopted.cr_entry = exported["cr_entry"]
+            adopted.echoes = set(exported["echoes"])
+            adopted.endorsed = exported["endorsed"]
+            self._states[adopted.tx] = adopted
+        # Locks: donor's holders first (at most one exclusive holder per
+        # key), then waiters in the donor's queue order — which is the
+        # causal delivery order of the conflicting writes, identical at
+        # every site, so per-key install order (and hence version numbers)
+        # stays convergent.
+        for exported in state["states"]:
+            tx_id = exported["tx"]
+            adopted = self._states[tx_id]
+            for key in exported["granted"]:
+                if self.locks.acquire(tx_id, key, LockMode.EXCLUSIVE, self._write_granted):
+                    adopted.granted.add(key)
+                else:
+                    adopted.waiting.add(key)
+        for key in sorted(state["lock_queues"]):
+            for tx_id in state["lock_queues"][key]:
+                adopted = self._states.get(tx_id)
+                if adopted is None or key in adopted.granted or key in adopted.waiting:
+                    continue
+                if self.locks.acquire(tx_id, key, LockMode.EXCLUSIVE, self._write_granted):
+                    adopted.granted.add(key)
+                else:
+                    adopted.waiting.add(key)
+        # The export races the next view change: a state whose home crashed
+        # after the donor exported (but before the reply landed here) was
+        # killed at every other site by the view change — which this
+        # replica's adopted copy never saw, and no *future* view change
+        # re-delivers.  Reap it now, exactly as on_view_change would have;
+        # otherwise its locks wedge the keys forever (a churn-soak liveness
+        # stall with every site up).
+        for adopted in list(self._states.values()):
+            if adopted.home not in self.view_members:
+                self._kill(adopted.tx)
+
+    def on_recovery_complete(self) -> None:
+        """Replay the deliveries deferred during the state transfer.
+
+        The donor's exported causal clock is the cut: a deferred message the
+        donor had already delivered at export time is *covered* — its
+        effects are in the snapshot and the adopted in-flight books — and is
+        dropped; everything past the cut is replayed in delivery order, so
+        the replica continues from a state identical to the donor's at the
+        export instant.
+        """
+        backlog, self._recovery_backlog = self._recovery_backlog, []
+        cut = self.cbcast.clock
+        replayed = 0
+        for message, envelope in backlog:
+            if envelope.vc[message.sender] <= cut[message.sender]:
+                continue
+            replayed += 1
+            self._on_deliver(message, envelope)
+        if backlog:
+            self.trace.emit(
+                self.now,
+                self.name,
+                "cbp.recovery_replay",
+                deferred=len(backlog),
+                replayed=replayed,
+            )
+        for state in list(self._states.values()):
+            self._check_commit(state)
 
     def on_recover(self) -> None:
         # Restart the null-message loop; without it the recovered site

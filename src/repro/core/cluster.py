@@ -72,6 +72,12 @@ class ClusterConfig:
     arq_max_backoff: float = 64.0
     relay: bool = False
     trace: bool = False
+    # Trace retention: a cap (records) and which end to keep when it is
+    # reached — "head" keeps the oldest (assert on a run's opening phase),
+    # "ring" keeps the newest (long soaks: memory stays bounded and the
+    # records nearest a failure survive).  See repro.sim.trace.TraceLog.
+    trace_capacity: Optional[int] = None
+    trace_mode: str = "head"
     # Failure handling.
     enable_failure_detector: bool = False
     fd_interval: float = 50.0
@@ -160,7 +166,11 @@ class Cluster:
         self.config = config
         self.engine = SimulationEngine()
         self.rng = RngRegistry(config.seed)
-        self.trace = TraceLog(enabled=config.trace)
+        self.trace = TraceLog(
+            enabled=config.trace,
+            capacity=config.trace_capacity,
+            mode=config.trace_mode,
+        )
         self.recorder = HistoryRecorder()
         self.metrics = MetricsCollector()
         latency = config.latency if config.latency is not None else UniformLatency(0.5, 1.5)
@@ -519,6 +529,21 @@ class Cluster:
 
     def specs_submitted(self) -> int:
         return len(self._specs)
+
+    def work_started_and_unfinished(self) -> bool:
+        """True when some submitted spec has actually *begun* (its first
+        attempt is due) without reaching a final outcome.  ``submit``
+        registers specs eagerly so ``all_final`` can gate ``run`` on
+        future-scheduled arrivals; liveness oracles must not treat those
+        not-yet-started arrivals as stalled work, so they use this
+        instead of ``not all_final()``."""
+        if self._unfinished_specs == 0:
+            return False
+        now = self.engine.now
+        return any(
+            not status.final and status.first_submit_time <= now
+            for status in self._specs.values()
+        )
 
     def await_specs(self, count: int) -> Callable[[], bool]:
         """A ``stop_when`` predicate: at least ``count`` specs submitted and

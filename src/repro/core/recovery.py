@@ -57,6 +57,10 @@ class StateTransferReply:
     #: RBP decision log (tx -> committed?) so a rejoiner can answer (and
     #: terminate) decision queries for outcomes reached while it was down.
     decision_log: Optional[tuple] = None
+    #: Protocol-private in-flight state (``Replica.export_protocol_state``):
+    #: CBP's transaction books, ABP's pre-shipped write sets.  The committed
+    #: snapshot alone misses transactions in flight at export time.
+    protocol_state: Optional[dict] = None
     kind: str = "recovery.reply"
 
 
@@ -135,6 +139,7 @@ class RecoveryAgent:
             causal_clock=state.get("causal_clock"),
             total_order_state=state.get("total_order_state"),
             decision_log=state.get("decision_log"),
+            protocol_state=replica.export_protocol_state(),
         )
         self.transfers_served += 1
         self.trace.emit(
@@ -158,6 +163,8 @@ class RecoveryAgent:
                 "decision_log": reply.decision_log,
             }
         )
+        if reply.protocol_state is not None:
+            replica.adopt_protocol_state(reply.protocol_state)
         replica.recovering = False
         # The snapshot (plus fast-forwarded decision log) is now the store
         # base: let the protocol replay whatever it deferred while the

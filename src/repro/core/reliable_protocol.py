@@ -234,7 +234,12 @@ class ReliableBroadcastReplica(Replica):
         self._check_round(tx, round_)
 
     def _check_round(self, tx: Transaction, round_: _WriteRound) -> None:
-        if round_.acks >= set(self.view_members):
+        # Length first: every ack re-checks the round, and building the
+        # member set per ack made a write round O(n^2).  The superset
+        # check stays authoritative (acks from departed sites linger).
+        if len(round_.acks) >= len(self.view_members) and round_.acks >= set(
+            self.view_members
+        ):
             rounds = self._write_round.get(tx.tx_id)
             if rounds is not None:
                 rounds.pop(round_.key, None)
@@ -512,6 +517,14 @@ class ReliableBroadcastReplica(Replica):
             # transfer).  Our own transactions are aborted by the view
             # change; remote state waits for the home or the orphan watchdog.
             return
+        if len(state.votes) < len(self.view_members):
+            # Cheap necessary condition: a tally with fewer entries than
+            # the view cannot cover it.  Every vote triggers a tally
+            # check, so building the member/voter sets here made a commit
+            # round O(n^2); this guard keeps all but the deciding vote at
+            # O(1) while the subset check below stays authoritative
+            # (stragglers from departed sites can inflate the count).
+            return
         members = set(self.view_members)
         if not members <= set(state.votes):
             return
@@ -700,6 +713,13 @@ class ReliableBroadcastReplica(Replica):
                     self.commit_home(tx, {})
                 else:
                     self.abort_home(tx, AbortReason.VIEW_LOSS)
+
+    def in_doubt_transactions(self) -> tuple[str, ...]:
+        """Transactions currently parked in the in-doubt query protocol,
+        sorted.  The churn oracles sample this to bound in-doubt residency:
+        a transaction stuck here longer than the configured limit means the
+        query/park/restart machinery is wedged, not merely waiting."""
+        return tuple(sorted(self._queries))
 
     def _enter_in_doubt(self, tx_id: str) -> None:
         """A YES-voting cohort lost its home: start the query protocol."""

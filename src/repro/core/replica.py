@@ -267,6 +267,18 @@ class Replica(Process):
         clobbered by it) replay them here; the base replica has nothing to
         replay."""
 
+    def export_protocol_state(self) -> Optional[dict]:
+        """Protocol-private state a state-transfer donor ships alongside
+        the committed-store snapshot (e.g. CBP's in-flight transaction
+        books, ABP's causally pre-shipped write sets).  ``None`` means the
+        committed snapshot plus broadcast-layer fast-forward is complete —
+        true for the base replica."""
+        return None
+
+    def adopt_protocol_state(self, state: dict) -> None:
+        """Install a donor's :meth:`export_protocol_state` payload (rejoiner
+        side, between the snapshot install and :meth:`on_recovery_complete`)."""
+
     # -- view plumbing -------------------------------------------------------------
 
     def on_view_change(self, members: list[int], has_quorum: bool) -> None:

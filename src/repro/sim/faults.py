@@ -5,6 +5,21 @@ this site at t1, partition at t2, heal at t3, recover at t4.  A
 :class:`FaultSchedule` declares that timeline once, applies it to a
 cluster, and keeps an audit log of what was injected when — so a test can
 assert both the injections and their observable consequences.
+
+Ordering contract (the churn engine leans on this):
+
+- Fault events at **equal timestamps** fire in *declaration order* — the
+  engine's same-time FIFO guarantee applied to the order the schedule's
+  builder methods were called.  ``.heal(at=50).partition(g, at=50)`` heals
+  the old split before installing the new one; declared the other way
+  round, the heal would immediately undo the partition.
+- **Loss windows** (:meth:`flaky_links`) are exempt from that sensitivity:
+  they form a stack, each restore removes *its own window's* contribution,
+  and the effective rate is always the most recently opened still-open
+  window (or the base rate when none is open).  Two abutting windows
+  ``[10, 30)`` and ``[30, 50)`` therefore produce the same loss timeline
+  whichever declaration order their equal-``t=30`` events fire in — the
+  overlap bug the churn property tests pin down.
 """
 
 from __future__ import annotations
@@ -34,6 +49,11 @@ class FaultSchedule:
 
     cluster: "Cluster"
     log: list[FaultEvent] = field(default_factory=list)
+    #: Open loss windows in the order their raises fired: ``(token, rate)``.
+    #: The effective loss rate is the last entry's rate; when the stack
+    #: empties, the base rate captured when the first window opened.
+    _loss_windows: list[tuple[object, float]] = field(default_factory=list)
+    _loss_base: float = 0.0
 
     # -- declarations -------------------------------------------------------------
 
@@ -84,31 +104,66 @@ class FaultSchedule:
         return self
 
     def flaky_links(self, loss_rate: float, at: float, until: Optional[float] = None) -> "FaultSchedule":
-        """Raise the network's loss rate at ``at`` (and restore at ``until``).
+        """Open a loss window: raise the loss rate at ``at``, restore at
+        ``until`` (or at a later :meth:`restore_links` when ``until`` is
+        None — an open-ended window no longer leaks silently; it stays on
+        the window stack, so any later bounded window restores back to *it*
+        rather than clobbering the rate to base).
+
+        Windows nest and overlap deterministically: the rate in effect is
+        always the most recently opened still-open window's.  Each restore
+        removes only its own window, and the pre-window base rate is
+        captured when the *first* window opens (at fire time, not at
+        declaration time — the historical declaration-time capture made
+        overlapping windows restore to stale rates).
 
         Only meaningful when the cluster's transports run in ARQ mode
         (``reliable_links=True``, or any construction-time ``loss_rate`` >
         0); raising loss on passthrough transports would break the
         reliable-link assumption, so this guards against it.
         """
+        if until is not None and until <= at:
+            raise ValueError(f"loss window must end after it starts ({at} .. {until})")
         network = self.cluster.network
         if loss_rate > 0 and any(t.passthrough for t in self.cluster.transports):
             raise ValueError(
                 "flaky_links needs the ARQ transport on every site: build "
                 "the cluster with reliable_links=True (or loss_rate > 0)"
             )
-        previous = network.loss_rate
+        token = object()
 
         def raise_loss() -> None:
+            if not self._loss_windows:
+                self._loss_base = network.loss_rate
+            self._loss_windows.append((token, loss_rate))
             network.loss_rate = loss_rate
 
         def restore() -> None:
-            network.loss_rate = previous
+            self._close_windows({token})
 
         self._schedule(at, "flaky_links", loss_rate, raise_loss)
         if until is not None:
-            self._schedule(until, "flaky_links_restore", previous, restore)
+            self._schedule(until, "flaky_links_restore", loss_rate, restore)
         return self
+
+    def restore_links(self, at: float) -> "FaultSchedule":
+        """Close every loss window still open at ``at`` (the explicit end
+        of open-ended :meth:`flaky_links` windows): the loss rate returns
+        to the pre-window base."""
+
+        def restore_all() -> None:
+            self._close_windows({token for token, _ in self._loss_windows})
+
+        self._schedule(at, "restore_links", None, restore_all)
+        return self
+
+    def _close_windows(self, tokens: set[object]) -> None:
+        self._loss_windows = [w for w in self._loss_windows if w[0] not in tokens]
+        network = self.cluster.network
+        if self._loss_windows:
+            network.loss_rate = self._loss_windows[-1][1]
+        else:
+            network.loss_rate = self._loss_base
 
     # -- audit ---------------------------------------------------------------------
 

@@ -3,6 +3,20 @@
 Protocols emit trace records ("site 2 delivered commit request for T7 at
 t=41.2") through a shared :class:`TraceLog`.  Tests assert on traces; the
 benchmark harness keeps tracing disabled for speed.
+
+Bounded modes (long soaks must stay memory-bounded; see E13):
+
+- ``mode="head"`` (the default with a ``capacity``): keep the *oldest*
+  ``capacity`` records and refuse the rest — the historical behaviour,
+  right for tests that assert on a run's opening phase.
+- ``mode="ring"``: keep the *newest* ``capacity`` records in a circular
+  buffer — right for churn soaks, where the interesting records are the
+  ones nearest the failure being diagnosed and memory must not grow with
+  simulated time.
+
+In both modes ``counts`` keeps incrementing past the cap and ``dropped``
+counts exactly the records no longer retained, so ``truncated`` flags any
+incomplete history (the audit checks it).
 """
 
 from __future__ import annotations
@@ -33,12 +47,27 @@ class TraceLog:
     benchmarks don't pay for record construction.
     """
 
-    def __init__(self, enabled: bool = True, capacity: Optional[int] = None):
+    def __init__(
+        self,
+        enabled: bool = True,
+        capacity: Optional[int] = None,
+        mode: str = "head",
+    ):
+        if mode not in ("head", "ring"):
+            raise ValueError(f"unknown trace mode {mode!r}; pick 'head' or 'ring'")
+        if mode == "ring" and capacity is None:
+            raise ValueError("mode='ring' requires a capacity")
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be at least 1")
         self.enabled = enabled
         self.capacity = capacity
-        self.records: list[TraceRecord] = []
+        self.mode = mode
+        self._buffer: list[TraceRecord] = []
+        #: Next slot to overwrite once the ring is full (ring mode only).
+        self._ring_head = 0
         self.counts: Counter[str] = Counter()
-        #: Records refused because ``capacity`` was reached.  ``counts``
+        #: Records no longer retained because ``capacity`` was reached —
+        #: refused (head mode) or overwritten (ring mode).  ``counts``
         #: keeps incrementing past the cap, so a non-zero value here is the
         #: only sign that ``records`` is an incomplete history — consumers
         #: (audit, timeline, tests) must check :attr:`truncated`.
@@ -49,10 +78,31 @@ class TraceLog:
         self.counts[kind] += 1
         if not self.enabled:
             return
-        if self.capacity is not None and len(self.records) >= self.capacity:
+        buffer = self._buffer
+        if self.capacity is not None and len(buffer) >= self.capacity:
             self.dropped += 1
+            if self.mode == "head":
+                return
+            # Ring wraparound: overwrite the oldest slot in place, so the
+            # buffer always holds the newest ``capacity`` records.
+            head = self._ring_head
+            buffer[head] = TraceRecord(time, source, kind, detail)
+            self._ring_head = head + 1 if head + 1 < self.capacity else 0
             return
-        self.records.append(TraceRecord(time, source, kind, detail))
+        buffer.append(TraceRecord(time, source, kind, detail))
+
+    @property
+    def records(self) -> list[TraceRecord]:
+        """Retained records in emission (chronological) order.
+
+        Unbounded and head-bounded logs expose the underlying list itself
+        (identical to the historical attribute); a wrapped ring returns a
+        rotated copy so iteration order is still oldest-to-newest.
+        """
+        if self.mode == "ring" and self._ring_head:
+            head = self._ring_head
+            return self._buffer[head:] + self._buffer[:head]
+        return self._buffer
 
     @property
     def truncated(self) -> bool:
@@ -92,9 +142,10 @@ class TraceLog:
         return "\n".join(str(r) for r in (records if records is not None else self.records))
 
     def clear(self) -> None:
-        self.records.clear()
+        self._buffer.clear()
+        self._ring_head = 0
         self.counts.clear()
         self.dropped = 0
 
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self._buffer)

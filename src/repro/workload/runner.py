@@ -66,6 +66,7 @@ class ClosedLoopRunner:
         self.think_time = think_time
         self.generator = WorkloadGenerator(workload, cluster.rng.stream("workload"))
         self._submitted = 0
+        self._stopped = False
         self._outstanding: set[str] = set()
         cluster.add_spec_listener(self._on_final)
 
@@ -73,8 +74,15 @@ class ClosedLoopRunner:
         for _ in range(self.mpl):
             self._submit_next()
 
+    def stop(self) -> None:
+        """Clients go quiet: no further submissions, but transactions
+        already in flight still run to their final outcomes.  The soak
+        harness uses this to end the churn phase at a horizon rather than
+        at a transaction count, then drain."""
+        self._stopped = True
+
     def _submit_next(self) -> None:
-        if self._submitted >= self.transactions:
+        if self._stopped or self._submitted >= self.transactions:
             return
         spec = self.generator.next_spec()
         self._submitted += 1
@@ -94,7 +102,9 @@ class ClosedLoopRunner:
 
     @property
     def done(self) -> bool:
-        return self._submitted >= self.transactions and not self._outstanding
+        if self._outstanding:
+            return False
+        return self._stopped or self._submitted >= self.transactions
 
 
 def run_standard_mix(

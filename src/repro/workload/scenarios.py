@@ -79,6 +79,15 @@ SCENARIOS: dict[str, Scenario] = {
             mpl=4,
         ),
         _make(
+            "churn_soak",
+            "the E13 soak mix: small read-modify-write transactions under"
+            " rolling churn, low contention so stalls implicate recovery",
+            num_objects=96,
+            read_ops=2,
+            write_ops=1,
+            mpl=4,
+        ),
+        _make(
             "loss_sweep",
             "small read-modify-write transactions for the E12 loss/partition"
             " sweep: low contention so stalls are the transport's fault",

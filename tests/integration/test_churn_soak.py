@@ -1,0 +1,66 @@
+"""E13 churn-soak integration cells: pinned counterexamples and the
+sweep-layer digest contract.
+
+The three pinned cells are shrunk reproducers from the churn property
+test (``tests/properties/test_churn_props.py``).  Each one caught a
+distinct protocol bug the first time the soak engine ran, and each stays
+pinned so the bug cannot quietly return:
+
+- **cbp / 10 sites / seed 1 — join-eviction race.**  A recovering site's
+  JoinRequest admitted it into view N while the coordinator's failure
+  detector still suspected it; the next suspicion-driven proposal
+  evicted it in view N+1.  Messages multicast during the eviction window
+  postdated the state transfer's clock cut — a permanent causal-delivery
+  gap (hundreds of messages held back transitively).  Fixed by treating
+  the join request as proof of life (``FailureDetector.refresh``).
+- **cbp / 20 sites / seed 3 — orphan writer.**  CBP group-commits via
+  implicit acknowledgments, so cohorts commit without the initiator; a
+  home crashing before ``record_commit`` left installed versions with no
+  recorded writer (a 1SR bookkeeping violation).  Fixed by cohort-side
+  ``record_commit_provisional`` (ABP and P2P apply paths included).
+- **p2p / 20 sites / seed 3 — all-members vote wedge.**  2PC tallies and
+  ROWA write rounds waited on *every* view member with no re-evaluation
+  on view change, so a voter crashing post-prepare wedged the home
+  forever.  Fixed by ``PointToPointReplica.on_view_change``.
+"""
+
+from repro.analysis.experiment import run_sweep
+from repro.workload.soak import e13_smoke_cell, e13_tiny_cell
+
+
+def test_cbp_join_eviction_race_cell():
+    metrics = e13_smoke_cell("cbp", 10, 1)
+    assert metrics["serializable"] == 1.0
+    assert metrics["converged"] == 1.0
+    assert metrics["unanswered"] == 0.0
+    assert metrics["crashes"] == metrics["recoveries"] >= 3.0
+
+
+def test_cbp_orphan_writer_cell():
+    metrics = e13_smoke_cell("cbp", 20, 3)
+    assert metrics["serializable"] == 1.0
+    assert metrics["converged"] == 1.0
+    assert metrics["unanswered"] == 0.0
+
+
+def test_p2p_vote_wedge_cell():
+    metrics = e13_smoke_cell("p2p", 20, 3)
+    assert metrics["serializable"] == 1.0
+    assert metrics["converged"] == 1.0
+    assert metrics["unanswered"] == 0.0
+
+
+def test_e13_sharded_sweep_digest_matches_serial():
+    """The order-canonical merge contract over the churn-soak metric
+    shape: ``jobs`` may change wall-clock, never a bit of the digest."""
+    kwargs = dict(
+        name="e13-digest",
+        scenario=e13_tiny_cell,
+        parameters=(5, 8),
+        protocols=("rbp", "cbp", "abp", "p2p"),
+        seeds=(1, 2),
+    )
+    serial = run_sweep(**kwargs, jobs=1)
+    sharded = run_sweep(**kwargs, jobs=4)
+    assert sharded.digest() == serial.digest()
+    assert sharded.points == serial.points

@@ -200,3 +200,31 @@ def test_locked_variant_leaves_no_lock_residue(make_spec):
     assert result.ok
     cluster.run_for(200.0)
     assert_clean(cluster, strict_wal=False)
+
+
+def test_shipped_variant_exports_preshipped_write_sets():
+    """A write set delivered causally before the export, whose commit
+    request orders after it, is unreachable for a rejoiner (the causal
+    fast-forward skips it) — it must travel with the protocol state."""
+    from tests.conftest import quick_cluster
+
+    cluster = quick_cluster("abp", abp_variant="shipped")
+    donor = cluster.replicas[0]
+    donor._shipped["T9"] = {"x0": 5}
+    state = donor.export_protocol_state()
+    assert state == {"shipped": (("T9", (("x0", 5),)),)}
+    rejoiner = cluster.replicas[1]
+    rejoiner.adopt_protocol_state(state)
+    assert rejoiner._shipped["T9"] == {"x0": 5}
+    # Adoption never clobbers a write set already delivered locally.
+    other = cluster.replicas[2]
+    other._shipped["T9"] = {"x0": 7}
+    other.adopt_protocol_state(state)
+    assert other._shipped["T9"] == {"x0": 7}
+
+
+def test_bundled_variant_ships_no_protocol_state():
+    from tests.conftest import quick_cluster
+
+    cluster = quick_cluster("abp", abp_variant="bundled")
+    assert cluster.replicas[0].export_protocol_state() is None

@@ -170,3 +170,52 @@ def test_update_takes_longer_than_rbp_without_traffic(make_spec):
     cbp.submit(make_spec("t1", 0, writes={"x0": 1}))
     cbp_latency = cbp.run().metrics.commit_latency().mean
     assert cbp_latency > rbp_latency
+
+
+def test_protocol_state_round_trips_through_export(cluster_factory, make_spec):
+    """The in-flight books a state transfer ships must survive the
+    export/adopt round trip wholesale: per-transaction state, finished
+    and dead sets, and the lock holders (in the donor's grant order)."""
+    cluster = cluster_factory("cbp", num_sites=3)
+    cluster.submit(make_spec("T1", 0, writes={"x0": 1, "x1": 2}))
+    donor = cluster.replicas[0]
+    for _ in range(1000):
+        if donor._states:
+            break
+        cluster.run_for(0.1)
+    assert donor._states, "write never went in flight"
+    exported = donor.export_protocol_state()
+    # Adopt replaces the rejoiner's own (possibly stale) books wholesale.
+    rejoiner = cluster.replicas[2]
+    rejoiner.adopt_protocol_state(exported)
+    assert set(rejoiner._states) == set(donor._states)
+    for tx_id, state in donor._states.items():
+        adopted = rejoiner._states[tx_id]
+        assert adopted.writes == state.writes
+        assert adopted.home == state.home
+        assert adopted.priority == tuple(state.priority)
+        assert adopted.granted == state.granted
+        assert adopted.echoes == state.echoes
+        assert adopted.cr_entry == state.cr_entry
+    assert rejoiner._finished == donor._finished
+    assert rejoiner._dead == donor._dead
+
+
+def test_adopt_reaps_states_whose_home_left_the_view(cluster_factory, make_spec):
+    """The export races the next view change: a state whose home was
+    evicted between export and adopt was killed at every surviving site
+    by the view change the rejoiner never saw.  Adoption must reap it,
+    or its locks wedge the keys forever (a churn-soak liveness bug)."""
+    cluster = cluster_factory("cbp", num_sites=3)
+    cluster.submit(make_spec("T1", 1, writes={"x0": 1}))
+    donor = cluster.replicas[0]
+    for _ in range(1000):
+        if donor._states:
+            break
+        cluster.run_for(0.1)
+    exported = donor.export_protocol_state()
+    rejoiner = cluster.replicas[2]
+    rejoiner.view_members = [0, 2]  # home site 1 evicted meanwhile
+    rejoiner.adopt_protocol_state(exported)
+    assert "T1" not in rejoiner._states
+    assert not rejoiner.locks.queued("x0")

@@ -111,3 +111,47 @@ def test_replicas_converged():
     assert replicas_converged([a, b])
     assert replicas_converged([])
     assert replicas_converged([a])
+
+
+def test_provisional_record_keeps_version_order_dense():
+    """Regression (E13 churn, cbp/20 sites/seed 3): cohorts installed a
+    group-committed write whose initiator died before ``record_commit``,
+    leaving a version with no recorded writer.  The cohort-side
+    provisional record must satisfy the writer check."""
+    recorder = HistoryRecorder()
+    recorder.record_commit_provisional("T1", 2, writes={"x": 1}, commit_time=5.0)
+    recorder.record_commit("T2", 1, reads={"x": 1}, writes={"x": 2}, commit_time=6.0)
+    result = recorder.check()
+    assert result.ok, result.explain()
+
+
+def test_provisional_record_is_idempotent_across_cohorts():
+    recorder = HistoryRecorder()
+    recorder.record_commit_provisional("T1", 2, writes={"x": 1}, commit_time=5.0)
+    recorder.record_commit_provisional("T1", 3, writes={"x": 1}, commit_time=5.5)
+    assert len(recorder) == 1
+    assert recorder.committed[0].site == 2  # first cohort wins
+
+
+def test_full_record_upgrades_a_provisional_in_place():
+    recorder = HistoryRecorder()
+    recorder.record_commit_provisional("T1", 2, writes={"x": 1}, commit_time=5.0)
+    recorder.record_commit("T1", 0, reads={"y": 0}, writes={"x": 1}, commit_time=6.0)
+    assert len(recorder) == 1
+    record = recorder.committed[0]
+    assert not record.provisional
+    assert record.site == 0
+    assert record.reads == (("y", 0),)
+    # A second full record is still an error after the upgrade.
+    with pytest.raises(ValueError, match="recorded twice"):
+        recorder.record_commit("T1", 0, reads={}, writes={"x": 1}, commit_time=7.0)
+
+
+def test_upgrade_with_empty_writes_keeps_cohort_versions():
+    """A partitioned-away initiator completing later may not know the
+    version numbers the cohorts stamped; its empty write set must not
+    erase the provisional record's authoritative versions."""
+    recorder = HistoryRecorder()
+    recorder.record_commit_provisional("T1", 2, writes={"x": 3}, commit_time=5.0)
+    recorder.record_commit("T1", 0, reads={}, writes={}, commit_time=9.0)
+    assert recorder.committed[0].writes == (("x", 3),)

@@ -77,6 +77,35 @@ def test_timeout_must_exceed_interval():
         FailureDetector(engine, router, 0, 2, interval=50.0, timeout=40.0)
 
 
+def test_refresh_clears_suspicion_like_a_heartbeat():
+    """Regression: a JoinRequest (delivered out-of-band of the heartbeat
+    channel) must count as proof of life, or the joiner gets re-evicted on
+    the next tick before its own heartbeats resume."""
+    engine, network, detectors = build()
+    engine.schedule(50.0, network.set_site_up, 1, False)
+    engine.schedule(50.0, detectors[1].crash)
+    engine.run(until=200.0)
+    assert 1 in detectors[0].suspected
+    changes = []
+    detectors[0].on_change = changes.append
+    detectors[0].refresh(1)
+    assert 1 not in detectors[0].suspected
+    assert changes == [set()]  # listener saw the un-suspicion immediately
+    # The refresh also resets the silence clock: no re-suspicion within
+    # a full timeout even though the peer stays quiet.
+    engine.run(until=engine.now + 30.0)  # < timeout (35ms)
+    assert 1 not in detectors[0].suspected
+    engine.run(until=engine.now + 50.0)  # past the timeout: silence wins again
+    assert 1 in detectors[0].suspected
+
+
+def test_refresh_ignores_self_and_unknown_peers():
+    engine, network, detectors = build()
+    detectors[0].refresh(0)
+    detectors[0].refresh(99)
+    assert not detectors[0].suspected
+
+
 def test_disabled_detector_sends_nothing_until_started():
     engine = SimulationEngine()
     network = Network(engine, 2)

@@ -107,6 +107,79 @@ def test_flaky_links_window():
     assert cluster.network.stats.dropped_loss > 0
 
 
+def arq_cluster(**overrides):
+    return fault_cluster(
+        loss_rate=0.01, enable_failure_detector=False, **overrides
+    )
+
+
+def test_flaky_links_open_ended_window_stays_open():
+    """Regression: ``until=None`` used to leak — the raised rate was never
+    restored and a later bounded window clobbered it back to base."""
+    cluster = arq_cluster()
+    schedule = FaultSchedule(cluster).flaky_links(0.5, at=10.0)
+    cluster.run_for(100.0)
+    assert cluster.network.loss_rate == 0.5  # still open
+    schedule.restore_links(at=200.0)
+    cluster.run_for(150.0)
+    assert cluster.network.loss_rate == 0.01  # back to base
+
+
+def test_flaky_links_nested_window_restores_to_outer():
+    cluster = arq_cluster()
+    schedule = FaultSchedule(cluster)
+    schedule.flaky_links(0.3, at=10.0, until=100.0)  # outer
+    schedule.flaky_links(0.6, at=30.0, until=60.0)  # inner
+    cluster.run_for(40.0)
+    assert cluster.network.loss_rate == 0.6  # inner in effect
+    cluster.run_for(30.0)  # t=70: inner closed
+    assert cluster.network.loss_rate == 0.3  # restores to outer, not base
+    cluster.run_for(50.0)  # t=120: outer closed
+    assert cluster.network.loss_rate == 0.01
+
+
+def test_flaky_links_abutting_windows_order_independent():
+    """Two windows sharing a boundary timestamp give the same loss
+    timeline whichever declaration order the equal-time events fire in
+    (the ordering contract in the module docstring)."""
+    rates = {}
+    for order in ("first-then-second", "second-then-first"):
+        cluster = arq_cluster()
+        schedule = FaultSchedule(cluster)
+        if order == "first-then-second":
+            schedule.flaky_links(0.3, at=10.0, until=30.0)
+            schedule.flaky_links(0.7, at=30.0, until=50.0)
+        else:
+            schedule.flaky_links(0.7, at=30.0, until=50.0)
+            schedule.flaky_links(0.3, at=10.0, until=30.0)
+        observed = []
+        for step in (20.0, 20.0, 20.0):  # t=20, 40, 60
+            cluster.run_for(step)
+            observed.append(cluster.network.loss_rate)
+        rates[order] = observed
+    assert rates["first-then-second"] == rates["second-then-first"] == [0.3, 0.7, 0.01]
+
+
+def test_equal_timestamp_events_fire_in_declaration_order():
+    """The schedule's documented contract: same-time fault events follow
+    declaration order (the engine's same-time FIFO)."""
+    healed_last = fault_cluster(seed=31)
+    FaultSchedule(healed_last).partition([[0, 1, 2], [3, 4]], at=50.0).heal(at=50.0)
+    healed_last.run_for(60.0)
+    assert healed_last.network.partitions.group_of(0) == healed_last.network.partitions.group_of(3)
+
+    split_last = fault_cluster(seed=31)
+    FaultSchedule(split_last).heal(at=50.0).partition([[0, 1, 2], [3, 4]], at=50.0)
+    split_last.run_for(60.0)
+    assert split_last.network.partitions.group_of(0) != split_last.network.partitions.group_of(3)
+
+
+def test_flaky_links_rejects_empty_window():
+    cluster = arq_cluster()
+    with pytest.raises(ValueError):
+        FaultSchedule(cluster).flaky_links(0.3, at=50.0, until=50.0)
+
+
 def test_describe_renders_timeline():
     cluster = fault_cluster()
     schedule = FaultSchedule(cluster).crash(1, at=5.0).heal(at=10.0)

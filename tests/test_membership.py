@@ -117,3 +117,28 @@ def test_view_id_collision_after_partition_resolves():
     assert final_views == {(0, 1, 2, 3)}
     ids = {s.view.view_id for s in services}
     assert len(ids) == 1
+
+
+def test_join_request_is_proof_of_life():
+    """Regression for the join-eviction race: the coordinator's stale
+    suspicion of a joiner must be cleared by the JoinRequest itself.
+    Without that, the joiner is admitted into view N but evicted again in
+    view N+1 by the next suspicion-driven proposal — and every message
+    multicast during the eviction window postdates the state transfer's
+    clock cut, opening a permanent causal delivery gap."""
+    from repro.broadcast.membership import JoinRequest
+
+    engine, network, detectors, services = build()
+    crash(engine, network, detectors, services, 4, at=50.0)
+    engine.run(until=300.0)
+    assert 4 in detectors[0].suspected
+    assert 4 not in services[0].view.members
+    # Deliver the join request directly, before site 4 has sent a single
+    # heartbeat the coordinator could have heard.
+    services[0]._on_message(4, JoinRequest(site=4, view_id=services[4].view.view_id))
+    assert 4 not in detectors[0].suspected  # the request is proof of life
+    assert 4 in services[0].view.members  # admitted...
+    # ...and the next detector ticks do not evict the joiner again while
+    # its silence clock is still inside the timeout.
+    engine.run(until=engine.now + 20.0)
+    assert 4 in services[0].view.members

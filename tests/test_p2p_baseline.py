@@ -109,3 +109,51 @@ def test_incremental_read_locks_wait_for_writers(cluster_factory, make_spec):
     result = cluster.run()
     assert result.ok and result.committed_specs == 2
     # The reader saw either the old or the new value, consistently 1SR.
+
+
+def test_view_change_completes_a_tally_missing_a_crashed_voter(
+    cluster_factory, make_spec
+):
+    """Regression: the 2PC tally waits on *all* view members, and a voter
+    that crashes after receiving the prepare never answers.  Before the
+    ``on_view_change`` re-check the home wedged forever on that tally
+    (surfaced by the E13 churn soak at p2p/20 sites/seed 3)."""
+    cluster = cluster_factory(
+        "p2p",
+        num_sites=4,
+        enable_failure_detector=True,
+        fd_interval=20.0,
+        fd_timeout=80.0,
+    )
+    silent = cluster.replicas[3]
+    silent._on_prepare = lambda src, prepare: None  # dies holding its vote
+    cluster.submit(make_spec("T1", 0, writes={"x0": 1}))
+    cluster.crash_site(3, at=30.0)  # write round done, vote outstanding
+    result = cluster.run(max_time=20_000.0)
+    assert cluster.spec_status("T1").committed
+    assert result.serialization.ok
+
+
+def test_view_change_completes_a_write_round_missing_a_crashed_acker(
+    cluster_factory, make_spec
+):
+    """Same wedge, one phase earlier: the ROWA write round waits on every
+    view member's ack.  The eviction of the silent member must let the
+    round proceed with the survivors' acks."""
+    cluster = cluster_factory(
+        "p2p",
+        num_sites=4,
+        enable_failure_detector=True,
+        fd_interval=20.0,
+        fd_timeout=80.0,
+        # Keep the write timeout out of the picture: this test pins the
+        # view-change path, not the timeout/retry fallback.
+        p2p_write_timeout=60_000.0,
+    )
+    deaf = cluster.replicas[3]
+    deaf._on_write = lambda src, write: None  # never acks
+    cluster.submit(make_spec("T1", 0, writes={"x0": 1}))
+    cluster.crash_site(3, at=30.0)
+    result = cluster.run(max_time=20_000.0)
+    assert cluster.spec_status("T1").committed
+    assert result.serialization.ok

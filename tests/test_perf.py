@@ -13,6 +13,7 @@ def test_quick_suite_runs_and_round_trips(tmp_path):
         "e5_throughput_abp",
         "e9_failover_rbp",
         "e12_loss_sweep",
+        "e13_churn_soak",
         "sweep_scaling_rbp",
     ]
     for result in results:

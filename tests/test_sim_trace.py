@@ -65,3 +65,82 @@ def test_clear():
     assert len(log) == 0
     assert log.count("k") == 0
     assert log.dropped == 0 and not log.truncated
+
+
+# -- ring mode (E13 soaks) -------------------------------------------------------
+
+
+def test_ring_keeps_newest_records():
+    log = TraceLog(capacity=3, mode="ring")
+    for i in range(8):
+        log.emit(float(i), "s", "k", i=i)
+    assert len(log) == 3
+    assert [r.detail["i"] for r in log.records] == [5, 6, 7]
+
+
+def test_ring_records_are_chronological_across_wraparound():
+    log = TraceLog(capacity=4, mode="ring")
+    for i in range(11):  # wraps twice, ends mid-buffer
+        log.emit(float(i), "s", "k")
+    times = [r.time for r in log.records]
+    assert times == sorted(times) == [7.0, 8.0, 9.0, 10.0]
+
+
+def test_ring_dropped_is_exact():
+    log = TraceLog(capacity=5, mode="ring")
+    for i in range(17):
+        log.emit(float(i), "s", "k")
+    assert log.dropped == 12  # overwritten, not refused
+    assert log.truncated
+    assert log.count("k") == 17  # counters keep going past the cap
+
+
+def test_ring_below_capacity_matches_unbounded():
+    ring = TraceLog(capacity=10, mode="ring")
+    plain = TraceLog()
+    for i in range(6):
+        ring.emit(float(i), "s", "k", i=i)
+        plain.emit(float(i), "s", "k", i=i)
+    assert [(r.time, r.detail) for r in ring.records] == [
+        (r.time, r.detail) for r in plain.records
+    ]
+    assert not ring.truncated
+
+
+def test_head_mode_unchanged_by_mode_parameter():
+    head = TraceLog(capacity=2, mode="head")
+    legacy = TraceLog(capacity=2)
+    for i in range(5):
+        head.emit(float(i), "s", "k")
+        legacy.emit(float(i), "s", "k")
+    assert [r.time for r in head.records] == [r.time for r in legacy.records] == [0.0, 1.0]
+    assert head.dropped == legacy.dropped == 3
+
+
+def test_ring_filter_sees_rotated_order():
+    log = TraceLog(capacity=3, mode="ring")
+    for i in range(5):
+        log.emit(float(i), "s", "a" if i % 2 else "b")
+    assert [r.time for r in log.filter(kind="a")] == [3.0]
+    assert [r.time for r in log.filter(kind="b")] == [2.0, 4.0]
+
+
+def test_ring_clear_resets_head():
+    log = TraceLog(capacity=2, mode="ring")
+    for i in range(5):
+        log.emit(float(i), "s", "k")
+    log.clear()
+    for i in range(3):
+        log.emit(float(10 + i), "s", "k")
+    assert [r.time for r in log.records] == [11.0, 12.0]
+
+
+def test_ring_requires_capacity():
+    import pytest
+
+    with pytest.raises(ValueError):
+        TraceLog(mode="ring")
+    with pytest.raises(ValueError):
+        TraceLog(capacity=0, mode="ring")
+    with pytest.raises(ValueError):
+        TraceLog(capacity=5, mode="sideways")
