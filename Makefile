@@ -2,20 +2,29 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-report experiments experiments-fast docs examples clean all lint detcheck
+.PHONY: install test bench bench-report experiments experiments-fast docs examples clean all lint lint-fast detcheck
+
+# Keep in sync with .github/workflows/ci.yml and .pre-commit-config.yaml:
+# an unpinned ruff turns toolchain releases into surprise CI failures.
+RUFF_VERSION = 0.12.5
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
 
 # Static analysis: detcheck (the in-tree determinism/protocol linter, see
 # docs/STATIC_ANALYSIS.md) always runs; ruff runs when installed (the
-# container image does not bundle it; CI installs it).
+# container image does not bundle it; CI installs the pinned version).
 lint: detcheck
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src scripts benchmarks tests examples; \
 	else \
-		echo "ruff not installed; skipped (pip install ruff)"; \
+		echo "ruff not installed; skipped (pip install ruff==$(RUFF_VERSION))"; \
 	fi
+
+# Pre-commit speed: lint only python files changed vs origin/main (falling
+# back to main, then HEAD), plus untracked ones.
+lint-fast:
+	$(PYTHON) scripts/detcheck.py --changed
 
 detcheck:
 	$(PYTHON) scripts/detcheck.py

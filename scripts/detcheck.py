@@ -23,9 +23,27 @@ sys.path.insert(0, str(ROOT / "src"))
 
 from repro.analysis.staticcheck.cli import main  # noqa: E402  (path bootstrap above)
 
+#: Options that consume the next token, so their values are not paths.
+_VALUE_OPTIONS = {"--select", "--ignore", "--format", "--baseline", "--changed-ref"}
+
+
+def _has_path_arg(argv: list[str]) -> bool:
+    expect_value = False
+    for arg in argv:
+        if expect_value:
+            expect_value = False
+            continue
+        if arg in _VALUE_OPTIONS:
+            expect_value = True
+            continue
+        if not arg.startswith("-"):
+            return True
+    return False
+
+
 if __name__ == "__main__":
     os.chdir(ROOT)  # findings and baseline paths are repo-relative
     argv = sys.argv[1:]
-    if not any(not arg.startswith("-") for arg in argv):
+    if not _has_path_arg(argv):
         argv = argv + ["src", "scripts", "benchmarks"]
     sys.exit(main(argv))

@@ -16,17 +16,22 @@ Usage::
 See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue.
 """
 
+from repro.analysis.staticcheck.callgraph import CallGraph, build_callgraph
 from repro.analysis.staticcheck.checker import check_paths, parse_suppressions
 from repro.analysis.staticcheck.cli import main
+from repro.analysis.staticcheck.dataflow import FunctionFlow
 from repro.analysis.staticcheck.findings import Baseline, Finding, Rule
 from repro.analysis.staticcheck.rules import ALL_RULE_IDS, RULES, check_module
 
 __all__ = [
     "ALL_RULE_IDS",
     "Baseline",
+    "CallGraph",
     "Finding",
+    "FunctionFlow",
     "RULES",
     "Rule",
+    "build_callgraph",
     "check_module",
     "check_paths",
     "main",

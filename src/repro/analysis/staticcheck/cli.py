@@ -9,6 +9,7 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import subprocess
 import sys
 from typing import Optional, Sequence
 
@@ -28,10 +29,59 @@ def _expand_rule_spec(spec: str) -> set[str]:
             continue
         if token in RULES:
             selected.add(token)
-        elif token in ("D", "P"):
+        elif token in ("D", "P", "S", "H"):
             selected |= {r for r in ALL_RULE_IDS if r.startswith(token)}
         else:
             raise ValueError(f"unknown rule or family: {token!r}")
+    return selected
+
+
+def _git_lines(*argv: str) -> list[str]:
+    out = subprocess.run(
+        ["git", *argv], check=True, capture_output=True, text=True
+    ).stdout
+    return [line for line in out.splitlines() if line.strip()]
+
+
+def _resolve_ref(ref: str) -> str:
+    """``ref`` if it resolves, else ``main``, else ``HEAD``.
+
+    The fallbacks keep ``--changed`` useful in clones without an ``origin``
+    remote (the default ref) and in CI shallow checkouts.
+    """
+    for candidate in (ref, "main", "HEAD"):
+        probe = subprocess.run(
+            ["git", "rev-parse", "--verify", "--quiet", f"{candidate}^{{commit}}"],
+            capture_output=True,
+            text=True,
+        )
+        if probe.returncode == 0:
+            return candidate
+    raise subprocess.CalledProcessError(1, ["git", "rev-parse", ref])
+
+
+def _changed_files(
+    paths: Sequence[pathlib.Path], ref: str
+) -> list[pathlib.Path]:
+    """Python files changed vs ``ref`` (plus untracked), under ``paths``."""
+    resolved = _resolve_ref(ref)
+    names = _git_lines(
+        "diff", "--name-only", "--diff-filter=d", resolved, "--", "*.py"
+    )
+    names += _git_lines(
+        "ls-files", "--others", "--exclude-standard", "--", "*.py"
+    )
+    roots = [p.resolve() for p in paths]
+    selected: list[pathlib.Path] = []
+    for name in sorted(set(names)):
+        candidate = pathlib.Path(name)
+        if not candidate.exists():
+            continue
+        resolved_path = candidate.resolve()
+        for root in roots:
+            if resolved_path == root or root in resolved_path.parents:
+                selected.append(candidate)
+                break
     return selected
 
 
@@ -41,7 +91,9 @@ def build_parser() -> argparse.ArgumentParser:
         description="AST-based determinism & protocol-invariant linter",
     )
     parser.add_argument("paths", nargs="*", default=["src"], help="files or directories")
-    parser.add_argument("--select", help="comma-separated rule ids or families (D, P)")
+    parser.add_argument(
+        "--select", help="comma-separated rule ids or families (D, P, S, H)"
+    )
     parser.add_argument("--ignore", help="comma-separated rule ids or families to skip")
     parser.add_argument(
         "--format", choices=("text", "json"), default="text", dest="fmt"
@@ -59,6 +111,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--write-baseline",
         action="store_true",
         help="grandfather every current finding into the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="lint only python files changed vs a git ref (plus untracked "
+        "ones), restricted to the given paths",
+    )
+    parser.add_argument(
+        "--changed-ref",
+        default="origin/main",
+        metavar="REF",
+        help="git ref --changed diffs against (default: origin/main, falling "
+        "back to main, then HEAD, when the ref does not resolve)",
     )
     parser.add_argument("--list-rules", action="store_true")
     parser.add_argument(
@@ -91,6 +156,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     missing = [p for p in paths if not p.exists()]
     if missing:
         parser.error(f"no such path: {', '.join(map(str, missing))}")
+
+    if args.changed:
+        try:
+            paths = _changed_files(paths, args.changed_ref)
+        except (OSError, subprocess.CalledProcessError) as exc:
+            print(f"detcheck: --changed requires a git checkout: {exc}")
+            return 2
+        if not paths:
+            print("detcheck: no changed python files under the given paths")
+            return 0
 
     baseline: Optional[Baseline] = None
     baseline_path = args.baseline

@@ -105,6 +105,64 @@ RULES: dict[str, Rule] = {
             "primitive; raw network sends bypass accounting and ordering",
         ),
         Rule(
+            "S301",
+            "hot-path-member-scan",
+            "per-message handler iterates/materializes a membership-derived "
+            "collection on every event",
+            "guard with the O(1) length check first (len(tally) >= "
+            "len(view) and tally >= set(view)), or hoist the member set out "
+            "of the handler (the PR 6 commit-tally O(n^2) class)",
+        ),
+        Rule(
+            "S302",
+            "payload-size-memo",
+            "envelope class with a payload field but no memoized "
+            "__wire_size__ (estimate_size re-traverses it per send)",
+            "add a _size slot and a __wire_size__ that computes once and "
+            "caches, as BroadcastMessage does",
+        ),
+        Rule(
+            "S303",
+            "loop-invariant-rebuild",
+            "sorted()/list() rebuilt every iteration over a loop-invariant "
+            "collection",
+            "hoist the materialization out of the loop",
+        ),
+        Rule(
+            "S304",
+            "hot-path-temporaries",
+            "per-event allocation of an n-proportional temporary from an "
+            "already-materialized collection",
+            "reuse the existing collection, or hoist the allocation out of "
+            "the per-message path",
+        ),
+        Rule(
+            "H401",
+            "unguarded-timer-mutation",
+            "timer callback mutates protocol state before any staleness "
+            "guard (flow-sensitive P203)",
+            "establish the firing is still live (early-return re-check or "
+            "epoch token compare) before the first state write; metric "
+            "counter bumps are exempt",
+        ),
+        Rule(
+            "H402",
+            "send-then-mutate",
+            "handler sends, then mutates state it read before the send "
+            "(re-entrancy hazard under synchronous local delivery)",
+            "finish the state transition before sending; a locally-delivered "
+            "message can re-enter the class between send and mutation",
+        ),
+        Rule(
+            "H403",
+            "recovery-window-install",
+            "message handler reaches a durable state install with no "
+            "recovery-window deferral on the path",
+            "defer deliveries to a backlog while self.recovering and replay "
+            "them after install, as ReliableBroadcastProtocol does (the PR 4 "
+            "stale-snapshot clobber class)",
+        ),
+        Rule(
             "E001",
             "parse-error",
             "file could not be parsed",
@@ -115,7 +173,9 @@ RULES: dict[str, Rule] = {
 
 D_DEFAULT = ("D101", "D102", "D103", "D104", "D105", "D106")
 P_DEFAULT = ("P201", "P202", "P203", "P204")
-ALL_RULE_IDS = D_DEFAULT + P_DEFAULT
+S_DEFAULT = ("S301", "S302", "S303", "S304")
+H_DEFAULT = ("H401", "H402", "H403")
+ALL_RULE_IDS = D_DEFAULT + P_DEFAULT + S_DEFAULT + H_DEFAULT
 
 #: Modules whose top-level functions are ambient-nondeterminism sources.
 _RNG_MODULES = {"random", "secrets"}
@@ -808,5 +868,17 @@ def check_module(
             source_line=lines[(exc.lineno or 1) - 1] if lines else "",
         )
         return [finding]
-    checker = ModuleChecker(tree, path, lines, set(enabled), protocol_layer)
-    return checker.run()
+    enabled_set = set(enabled)
+    checker = ModuleChecker(tree, path, lines, enabled_set, protocol_layer)
+    checker.run()
+    if enabled_set & (set(S_DEFAULT) | set(H_DEFAULT)):
+        # Deferred imports: the flow-aware modules import helpers from here.
+        from repro.analysis.staticcheck.callgraph import build_callgraph
+        from repro.analysis.staticcheck.handler_rules import run_handler_rules
+        from repro.analysis.staticcheck.scaling_rules import run_scaling_rules
+
+        graph = build_callgraph(tree, lines)
+        run_scaling_rules(checker, graph)
+        run_handler_rules(checker, graph)
+    checker.findings.sort(key=lambda f: (f.line, f.col, f.rule.id))
+    return checker.findings

@@ -95,6 +95,10 @@ class MembershipService(Process):
         self.detector = detector
         self.site = site
         self.num_sites = num_sites
+        #: The full-cluster fan-out list never changes; building it afresh
+        #: on every announce cost an O(n) allocation per join attempt
+        #: (detcheck S301 audit; same precompute as FailureDetector).
+        self._peers = tuple(p for p in range(num_sites) if p != site)
         self.view = View(0, tuple(range(num_sites)))
         self.listeners: list[ViewListener] = []
         router.register(CHANNEL, self._on_message)
@@ -110,14 +114,17 @@ class MembershipService(Process):
         return self.view.has_quorum(self.num_sites) and self.site in self.view
 
     def i_am_coordinator(self) -> bool:
+        # Coordinator = lowest live member: electing one must scan the live
+        # set, so the O(n) pass is inherent; it runs per membership event
+        # (join request, suspicion change), not per data message.
+        # detcheck: ignore[S301]
         live = [m for m in self.view.members if m not in self.detector.suspected]
         return bool(live) and self.site == min(live)
 
     def announce_join(self) -> None:
         """Called by a recovering or out-of-sync site to request readmission."""
         request = JoinRequest(self.site, self.view.view_id)
-        peers = [p for p in range(self.num_sites) if p != self.site]
-        self.router.multicast(peers, CHANNEL, request, request.kind)
+        self.router.multicast(self._peers, CHANNEL, request, request.kind)
 
     # -- internals -----------------------------------------------------------
 
@@ -185,13 +192,19 @@ class MembershipService(Process):
                     request.site, CHANNEL, ViewMessage(self.view), "membership.view"
                 )
             return
+        # View-change path: building the next membership tuple is one O(n)
+        # pass per join event, not per data message.
+        # detcheck: ignore[S301]
         proposed = tuple(sorted(set(self.view.members) | {request.site}))
         self._install_and_announce(proposed, min_id=request.view_id)
 
     def _install(self, view: View) -> None:
+        # View-change path: the old/new membership diff is one O(n) pass
+        # per view install, not per data message.
+        # detcheck: ignore[S301]
         previous = set(self.view.members)
         self.view = view
-        joined = set(view.members) - previous
+        joined = set(view.members) - previous  # detcheck: ignore[S301]
         for listener in self.listeners:
             listener(view, joined)
 

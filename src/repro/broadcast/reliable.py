@@ -76,9 +76,9 @@ class ReliableBroadcast:
         self._next_seq += 1
         message = BroadcastMessage(msg_id, payload, kind or "")
         self._seen.add(msg_id)
-        for dst in self.group:
-            if dst != self.site:
-                self.router.send(dst, CHANNEL, message, message.kind)
+        # Single shared envelope for the whole fan-out; multicast skips the
+        # sending site itself (local delivery goes through the event loop).
+        self.router.multicast(self.group, CHANNEL, message, message.kind)
         self.engine.schedule(0.0, self._deliver_local, message)
         return message
 

@@ -31,12 +31,12 @@ crash non-sequencer sites or quiesce first, as documented in DESIGN.md.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.broadcast.causal import CausalBroadcast, CausalEnvelope
 from repro.broadcast.message import BroadcastMessage, MessageId
-from repro.net.sizes import register_payload
+from repro.net.sizes import OBJECT_OVERHEAD, estimate_size, register_payload
 from repro.sim.engine import SimulationEngine
 
 TOKEN_CHANNEL = "abcast.token"
@@ -50,6 +50,9 @@ class SequencedEnvelope:
     ordered: bool
     kind: str = ""
     preassigned: Optional[tuple[int, int]] = None  # (epoch, seq) in token mode
+    #: Memoized wire size (see BroadcastMessage): the enclosing causal and
+    #: broadcast envelopes consult this on every size estimate.
+    _size: int = field(default=-1, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.kind:
@@ -57,6 +60,19 @@ class SequencedEnvelope:
             self.kind = (
                 payload_kind if isinstance(payload_kind, str) else type(self.payload).__name__
             )
+
+    def __wire_size__(self) -> int:
+        # Byte-identical to the generic __slots__ traversal over (payload,
+        # ordered, kind, preassigned); _size is bookkeeping, not wire content.
+        if self._size < 0:
+            self._size = (
+                OBJECT_OVERHEAD
+                + estimate_size(self.payload)
+                + estimate_size(self.ordered)
+                + estimate_size(self.kind)
+                + estimate_size(self.preassigned)
+            )
+        return self._size
 
 
 @dataclass(slots=True)
@@ -135,9 +151,6 @@ class TotalOrderBroadcast:
             tracker = causal.enable_stability()
             tracker.on_advance(lambda stable: self._drain())
             self._last_own_broadcast = 0.0
-            # detcheck: ignore[P203] — periodic stability tick; it re-reads
-            # live state each firing and the engine drops callbacks
-            # scheduled by a crashed process epoch.
             engine.schedule(stability_interval, self._stability_tick)
         if mode == "token":
             causal.reliable.router.register(TOKEN_CHANNEL, self._on_token)
@@ -246,8 +259,11 @@ class TotalOrderBroadcast:
             elif self.mode == "sequencer" and self.is_sequencer:
                 key = (self.epoch, self._next_seq)
                 self._next_seq += 1
-                self.causal.broadcast(OrderAssignment(key[0], [(message.id, key[1])]))
+                # Record before broadcasting (detcheck H402): were the
+                # assignment delivered back synchronously, the handler above
+                # would pop _unordered itself and this pop would KeyError.
                 self._record_order(message.id, key, self._unordered.pop(message.id))
+                self.causal.broadcast(OrderAssignment(key[0], [(message.id, key[1])]))
         self._drain()
 
     def _on_order_assignment(self, order: OrderAssignment) -> None:
@@ -310,12 +326,15 @@ class TotalOrderBroadcast:
         Suppressed when this site broadcast recently — real traffic's
         piggybacked clocks already carry the information.
         """
-        if self.engine.now - self._last_own_broadcast >= self.stability_interval:
-            self.causal.broadcast(
-                SequencedEnvelope(None, False, "abcast.stability"), "abcast.stability"
-            )
-            self._last_own_broadcast = self.engine.now
-        # detcheck: ignore[P203] — self-rescheduling periodic tick (see init).
+        if self.engine.now - self._last_own_broadcast < self.stability_interval:
+            # Recent real traffic's piggybacked clock already carried the
+            # information; this firing is redundant (detcheck H401 guard).
+            self.engine.schedule(self.stability_interval, self._stability_tick)
+            return
+        self.causal.broadcast(
+            SequencedEnvelope(None, False, "abcast.stability"), "abcast.stability"
+        )
+        self._last_own_broadcast = self.engine.now
         self.engine.schedule(self.stability_interval, self._stability_tick)
 
     def _is_next(self, epoch: int, seq: int) -> bool:
@@ -347,6 +366,10 @@ class TotalOrderBroadcast:
         self._acquire_token(token)
 
     def _acquire_token(self, token: Token) -> None:
+        # Token possession is its own freshness evidence: this fires on
+        # direct token receipt or the sole-member self-pass (_pass_token),
+        # and a crashed epoch's callbacks are dropped by the engine.
+        # detcheck: ignore[H401]
         self._has_token = True
         self._token = token
         self._flush_outbox()
@@ -354,13 +377,17 @@ class TotalOrderBroadcast:
 
     def _flush_outbox(self) -> None:
         token = self._token
-        for payload, kind in self._outbox:
+        # Swap-drain (detcheck H402): a broadcast delivered back
+        # synchronously could append to the outbox mid-loop; draining a
+        # detached list keeps such arrivals queued for the next flush
+        # instead of silently clearing them unsent.
+        outbox, self._outbox = self._outbox, []
+        for payload, kind in outbox:
             key = (token.epoch, token.next_seq)
             token.next_seq += 1
             self.causal.broadcast(
                 SequencedEnvelope(payload, True, kind, preassigned=key), kind
             )
-        self._outbox.clear()
 
     def _pass_token(self) -> None:
         if not self._has_token:

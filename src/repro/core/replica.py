@@ -64,6 +64,10 @@ class Replica(Process):
         self.public: set[str] = set()
         #: View membership hook; protocols read this for "all sites".
         self.view_members: list[int] = list(range(num_sites))
+        #: Same membership as a frozenset, maintained by on_view_change so
+        #: per-message paths test/filter against it without rebuilding a
+        #: set per event (detcheck S301 audit).
+        self.view_member_set: frozenset[int] = frozenset(self.view_members)
         self.has_quorum = True
         #: True while a post-crash state transfer is in flight.
         self.recovering = False
@@ -284,6 +288,7 @@ class Replica(Process):
     def on_view_change(self, members: list[int], has_quorum: bool) -> None:
         """Adopt a new view (called by the cluster's membership wiring)."""
         self.view_members = sorted(members)
+        self.view_member_set = frozenset(self.view_members)
         self.has_quorum = has_quorum
 
     def other_members(self) -> list[int]:

@@ -28,6 +28,9 @@ from repro.sim.rng import RngRegistry
 
 
 @dataclass
+# Simulator-internal delivery record: the network sizes datagram *payloads*
+# (wire_size(payload) below), never the Datagram wrapper itself.
+# detcheck: ignore[S302]
 class Datagram:
     """One point-to-point message on the wire."""
 

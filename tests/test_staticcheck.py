@@ -594,6 +594,463 @@ def test_rule_catalogue_is_complete():
         assert rule.summary and rule.hint
 
 
+# -- S301/S304: hot-path membership materialization ---------------------------
+
+
+def test_s301_flags_member_scan_in_message_handler():
+    # The PR 6 commit-tally O(n^2) class: a per-ack member-set rebuild.
+    assert "S301" in run_rules(
+        """
+        class Proto:
+            def __init__(self, router):
+                router.register("commit", self._on_ack)
+
+            def _on_ack(self, src, ack):
+                tally = self.acks[ack.tx]
+                tally.add(src)
+                if set(self.view_members) <= tally:
+                    self.commit(ack.tx)
+        """
+    )
+
+
+def test_s301_reverting_length_guard_regresses():
+    """The acceptance criterion: the O(1)-length-guard fix, and its revert."""
+    guarded = """
+        class Proto:
+            def __init__(self, router):
+                router.register("commit", self._on_ack)
+
+            def _on_ack(self, src, ack):
+                tally = self.acks[ack.tx]
+                tally.add(src)
+                if len(tally) >= len(self.view_members) and set(self.view_members) <= tally:
+                    self.commit(ack.tx)
+        """
+    reverted = guarded.replace("len(tally) >= len(self.view_members) and ", "")
+    assert "S301" not in run_rules(guarded)
+    assert "S301" in run_rules(reverted)
+
+
+def test_s301_allows_early_return_length_guard():
+    assert "S301" not in run_rules(
+        """
+        class Proto:
+            def __init__(self, router):
+                router.register("commit", self._on_ack)
+
+            def _on_ack(self, src, ack):
+                tally = self.acks[ack.tx]
+                tally.add(src)
+                if len(tally) < len(self.view_members):
+                    return
+                missing = set(self.view_members) - tally
+                self.commit(ack.tx, missing)
+        """
+    )
+
+
+def test_s301_allows_dissemination_fanout_loop():
+    assert "S301" not in run_rules(
+        """
+        class Proto:
+            def __init__(self, router):
+                router.register("req", self._on_request)
+
+            def _on_request(self, src, msg):
+                for dst in self.view_members:
+                    self.router.send(dst, "c", msg, "k")
+        """
+    )
+
+
+def test_s301_ignores_cold_paths():
+    # The same build in __init__ (or an unregistered method) is fine.
+    assert "S301" not in run_rules(
+        """
+        class Proto:
+            def __init__(self, router):
+                router.register("c", self._on_msg)
+                self.peers = set(self.view_members)
+
+            def _on_msg(self, src, msg):
+                self.seen.add(msg.id)
+
+            def audit(self):
+                return sorted(set(self.view_members))
+        """
+    )
+
+
+def test_s301_hot_path_pragma_marks_entry():
+    assert "S301" in run_rules(
+        """
+        class Proto:
+            # detcheck: hot-path
+            def fast(self):
+                return set(self.view_members)
+        """
+    )
+
+
+def test_s304_flags_derived_temporaries():
+    # The local carries the taint; the flagged build never names the source.
+    hits = run_rules(
+        """
+        class Proto:
+            def __init__(self, router):
+                router.register("c", self._on_msg)
+
+            def _on_msg(self, src, msg):
+                alive = self.view_members
+                snapshot = sorted(alive)
+                self.latest = snapshot
+        """
+    )
+    assert "S304" in hits and "S301" not in hits
+
+
+# -- S302: unmemoized envelope wire sizes -------------------------------------
+
+
+def test_s302_flags_envelope_without_wire_size():
+    assert "S302" in run_rules(
+        """
+        class Envelope:
+            payload: object
+            kind: str = "x"
+        """
+    )
+
+
+def test_s302_allows_memoized_envelope():
+    assert "S302" not in run_rules(
+        """
+        class Envelope:
+            payload: object
+            kind: str = "x"
+
+            def __wire_size__(self):
+                return 8
+        """
+    )
+
+
+# -- S303: loop-invariant rebuilds --------------------------------------------
+
+
+def test_s303_flags_sorted_rebuilt_per_iteration():
+    assert "S303" in run_rules(
+        """
+        class Proto:
+            def __init__(self, engine):
+                engine.schedule(5.0, self._tick)
+
+            def _tick(self):
+                for item in self.queue:
+                    if item in sorted(self.order):
+                        self.emit(item)
+        """
+    )
+
+
+def test_s303_allows_hoisted_build_and_loop_varying_arg():
+    assert "S303" not in run_rules(
+        """
+        class Proto:
+            def __init__(self, engine):
+                engine.schedule(5.0, self._tick)
+
+            def _tick(self):
+                order = sorted(self.order)
+                for item in self.queue:
+                    if item in order:
+                        self.order = self.order + [item]
+                        refreshed = sorted(self.order)
+                        self.emit(item, refreshed)
+        """
+    )
+
+
+# -- H401: timer mutations ordered against the staleness guard ----------------
+
+
+def test_h401_flags_unguarded_timer_mutation():
+    assert "H401" in run_rules(
+        """
+        class Proto:
+            def __init__(self, engine):
+                engine.schedule(5.0, self._retry)
+
+            def _retry(self):
+                self.pending.clear()
+                self.router.send(0, "c", None, "k")
+        """
+    )
+
+
+def test_h401_flags_mutation_before_guard():
+    assert "H401" in run_rules(
+        """
+        class Proto:
+            def __init__(self, engine):
+                engine.schedule(5.0, self._retry)
+
+            def _retry(self):
+                self.state = "retrying"
+                if self.done:
+                    return
+                self.router.send(0, "c", None, "k")
+        """
+    )
+
+
+def test_h401_allows_guard_first_and_counter_bumps():
+    assert "H401" not in run_rules(
+        """
+        class Proto:
+            def __init__(self, engine):
+                engine.schedule(5.0, self._retry, 1)
+
+            def _retry(self, attempt):
+                self.retries += 1
+                if attempt != self.attempt:
+                    return
+                self.pending.clear()
+                self.router.send(0, "c", None, "k")
+        """
+    )
+
+
+def test_h401_ignores_zero_delay_dispatch():
+    # schedule(0, ...) is the uniform local-delivery path, not a timer.
+    assert "H401" not in run_rules(
+        """
+        class Proto:
+            def __init__(self, engine, message):
+                engine.schedule(0.0, self._deliver, message)
+
+            def _deliver(self, message):
+                self.delivered.append(message)
+        """
+    )
+
+
+# -- H402: read -> send -> mutate re-entrancy window ---------------------------
+
+
+def test_h402_flags_send_between_read_and_mutation():
+    assert "H402" in run_rules(
+        """
+        class Proto:
+            def __init__(self, router):
+                router.register("c", self._on_msg)
+
+            def _on_msg(self, src, msg):
+                count = len(self.outbox)
+                self.router.send(src, "c", count, "k")
+                self.outbox = []
+        """
+    )
+
+
+def test_h402_allows_mutate_before_send():
+    # The swap-drain idiom: complete the transition, then send.
+    assert "H402" not in run_rules(
+        """
+        class Proto:
+            def __init__(self, router):
+                router.register("c", self._on_msg)
+
+            def _on_msg(self, src, msg):
+                outbox, self.outbox = self.outbox, []
+                for item in outbox:
+                    self.router.send(src, "c", item, "k")
+        """
+    )
+
+
+# -- H403: durable installs inside the recovery window -------------------------
+
+
+def test_h403_flags_install_without_deferral():
+    assert "H403" in run_rules(
+        """
+        class Proto:
+            def __init__(self, router):
+                router.register("c", self._on_msg)
+
+            def _on_msg(self, src, msg):
+                self._apply(msg)
+
+            def _apply(self, msg):
+                self.store.install(msg.key, msg.value, msg.tx)
+        """
+    )
+
+
+def test_h403_allows_recovering_deferral():
+    assert "H403" not in run_rules(
+        """
+        class Proto:
+            def __init__(self, router):
+                router.register("c", self._on_msg)
+
+            def _on_msg(self, src, msg):
+                if self.recovering:
+                    self._backlog.append(msg)
+                    return
+                self._apply(msg)
+
+            def _apply(self, msg):
+                self.store.install(msg.key, msg.value, msg.tx)
+        """
+    )
+
+
+def test_h403_ignores_handlers_without_installs():
+    assert "H403" not in run_rules(
+        """
+        class Proto:
+            def __init__(self, router):
+                router.register("c", self._on_msg)
+
+            def _on_msg(self, src, msg):
+                self.seen.add(msg.id)
+        """
+    )
+
+
+# -- S/H suppression and baseline round-trips ---------------------------------
+
+_S301_SOURCE = """
+    class Proto:
+        def __init__(self, router):
+            router.register("commit", self._on_ack)
+
+        def _on_ack(self, src, ack):
+            if set(self.view_members) <= self.acks[ack.tx]:{pragma}
+                self.commit(ack.tx)
+    """
+
+
+def test_s_rule_pragma_suppresses(tmp_path):
+    findings = check_file(
+        tmp_path,
+        _S301_SOURCE.format(pragma="  # detcheck: ignore[S301] — fixture"),
+    )
+    assert [f.rule.id for f in findings] == ["S301"]
+    assert findings[0].suppressed and not findings[0].is_new
+
+
+def test_s_rule_baseline_roundtrip(tmp_path):
+    source = _S301_SOURCE.format(pragma="")
+    findings = check_file(tmp_path, source)
+    assert [(f.rule.id, f.is_new) for f in findings] == [("S301", True)]
+    baseline_path = tmp_path / "baseline.json"
+    Baseline.write(baseline_path, findings)
+    again = check_file(tmp_path, source, baseline=Baseline.load(baseline_path))
+    assert [f.baselined for f in again] == [True]
+    assert not any(f.is_new for f in again)
+
+
+def test_h_rule_pragma_suppresses(tmp_path):
+    findings = check_file(
+        tmp_path,
+        """
+        class Proto:
+            def __init__(self, engine):
+                engine.schedule(5.0, self._retry)
+
+            def _retry(self):
+                # detcheck: ignore[H401] — fixture justification
+                self.pending.clear()
+        """,
+    )
+    hits = [f for f in findings if f.rule.id == "H401"]
+    assert hits and all(f.suppressed for f in hits)
+
+
+def test_cli_select_s_and_h_families(tmp_path, capsys):
+    target = tmp_path / "mixed.py"
+    target.write_text(
+        textwrap.dedent(
+            """
+            import random
+
+            class Proto:
+                def __init__(self, router, engine):
+                    router.register("c", self._on_msg)
+                    engine.schedule(5.0, self._retry)
+
+                def _on_msg(self, src, msg):
+                    members = set(self.view_members)
+                    self.tallies[msg.tx] = members
+
+                def _retry(self):
+                    self.pending.clear()
+                    self.jitter = random.random()
+            """
+        ),
+        encoding="utf-8",
+    )
+    assert main(["--no-baseline", "--select", "S", str(target)]) == 1
+    out = capsys.readouterr().out
+    assert "S301" in out and "H401" not in out and "D101" not in out
+    assert main(["--no-baseline", "--select", "H401", str(target)]) == 1
+    out = capsys.readouterr().out
+    assert "H401" in out and "S301" not in out
+    assert main(["--no-baseline", "--ignore", "D,P,S,H", str(target)]) == 0
+    capsys.readouterr()
+
+
+# -- the --changed mode -------------------------------------------------------
+
+
+def _git(cwd, *args):
+    subprocess.run(
+        ["git", *args], cwd=cwd, check=True, capture_output=True, text=True
+    )
+
+
+def test_cli_changed_mode(tmp_path, monkeypatch, capsys):
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "config", "user.email", "dev@example.invalid")
+    _git(tmp_path, "config", "user.name", "dev")
+    committed = tmp_path / "committed.py"
+    committed.write_text("import time\nt = time.time()\n", encoding="utf-8")
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-qm", "base")
+    monkeypatch.chdir(tmp_path)
+
+    # Nothing changed: the committed violation is out of scope, exit 0.
+    assert main(["--no-baseline", "--changed", "."]) == 0
+    assert "no changed python files" in capsys.readouterr().out
+
+    # An untracked violating file is in scope and fails the run.
+    (tmp_path / "fresh.py").write_text(
+        "import random\nr = random.random()\n", encoding="utf-8"
+    )
+    assert main(["--no-baseline", "--changed", "."]) == 1
+    assert "D101" in capsys.readouterr().out
+
+    # Editing the committed file brings it into scope too.
+    committed.write_text(
+        "import time\nt = time.time()\nu = time.time()\n", encoding="utf-8"
+    )
+    assert main(["--no-baseline", "--changed", "--select", "D102", "."]) == 1
+    out = capsys.readouterr().out
+    assert out.count("D102") >= 2
+
+
+def test_cli_changed_outside_git_checkout(tmp_path, monkeypatch, capsys):
+    (tmp_path / "mod.py").write_text("x = 1\n", encoding="utf-8")
+    monkeypatch.setenv("GIT_DIR", str(tmp_path / "nowhere"))
+    monkeypatch.chdir(tmp_path)
+    assert main(["--no-baseline", "--changed", "."]) == 2
+    assert "requires a git checkout" in capsys.readouterr().out
+
+
 # -- the live tree ------------------------------------------------------------
 
 
