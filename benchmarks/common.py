@@ -39,6 +39,10 @@ BACKGROUND_KINDS = (
     "abcast.token",
     "transport.ack",
     "transport.retransmit",
+    # Batch-envelope framing residual: the constituents' counts and bytes
+    # are attributed to their own kinds (see Network._account_batch), so
+    # only shared overhead lands under this label.
+    "transport.batch",
 )
 
 

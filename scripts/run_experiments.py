@@ -55,6 +55,7 @@ EXPERIMENTS = {
     "e11": "test_e11_bytes.py",
     "e12": "test_e12_loss_sweep.py",
     "e13": "test_e13_churn_soak.py",
+    "e14": "test_e14_batching_sweep.py",
 }
 
 

@@ -443,6 +443,111 @@ def bench_e13_churn_soak(quick: bool = False) -> BenchResult:
     )
 
 
+def bench_e14_batching(quick: bool = False) -> BenchResult:
+    """E14's shape: broadcast batching against passthrough on lossy links.
+
+    Two before/after pairs, both at 5% datagram loss (the regime the
+    batching layer exists for — every coalesced datagram is a loss trial
+    that never happens):
+
+    - an **E5-shaped throughput pair** (ABP, MPL 8, conflict-free): the
+      report's ``e5_speedup_x`` is the batched run's committed txn/s over
+      the passthrough run's — the headline step change;
+    - an **E1-shaped byte-cost pair** (CBP, 8 sites, 4 writes/txn): the
+      report's ``e1_bytes_drop_frac`` is the fractional drop in wire bytes
+      per committed update from shared headers, group commit, and delta
+      vector clocks.
+
+    Both pairs assert the batched run commits exactly the transactions the
+    passthrough run does; the speed numbers are meaningless otherwise.
+    """
+    from repro.broadcast.batching import BatchingConfig
+    from repro.core.cluster import Cluster, ClusterConfig
+    from repro.workload.generator import WorkloadConfig
+    from repro.workload.runner import ClosedLoopRunner
+
+    def run_pair(protocol, sites, mpl, transactions, workload_kw, **cluster_kw):
+        cells = []
+        for batching in (None, BatchingConfig(flush_window=2.0)):
+            cluster = Cluster(
+                ClusterConfig(
+                    protocol=protocol,
+                    num_sites=sites,
+                    loss_rate=0.05,
+                    batching=batching,
+                    **cluster_kw,
+                )
+            )
+            runner = ClosedLoopRunner(
+                cluster,
+                WorkloadConfig(**workload_kw),
+                mpl=mpl,
+                transactions=transactions,
+            )
+            runner.start()
+            result = cluster.run(max_time=5_000_000.0)
+            assert result.serialization.ok, result.serialization.explain()
+            assert result.converged, "replicas diverged"
+            cells.append((cluster, result))
+        assert {n for n, s in cells[0][0]._specs.items() if s.committed} == {
+            n for n, s in cells[1][0]._specs.items() if s.committed
+        }, "batching changed the committed set"
+        return cells
+
+    started = time.perf_counter()
+    e5_tx = 24 if quick else 100
+    e5_cells = run_pair(
+        "abp",
+        4,
+        8,
+        e5_tx,
+        dict(num_objects=256, num_sites=4, read_ops=2, write_ops=2, zipf_theta=0.0),
+        num_objects=256,
+        seed=21,
+    )
+    e1_tx = 12 if quick else 48
+    e1_cells = run_pair(
+        "cbp",
+        8,
+        4,
+        e1_tx,
+        dict(num_objects=256, num_sites=8, read_ops=4, write_ops=4, zipf_theta=0.0),
+        num_objects=256,
+        seed=42,
+        cbp_heartbeat=25.0,
+    )
+    wall = time.perf_counter() - started
+
+    def txn_s(result):
+        return result.metrics.throughput(result.duration) * 1000.0
+
+    def bytes_per_update(result):
+        return result.network_stats["bytes_sent"] / max(
+            result.metrics.committed_update_count(), 1
+        )
+
+    (_, e5_base), (_, e5_batched) = e5_cells
+    (_, e1_base), (_, e1_batched) = e1_cells
+    events = sum(cluster.engine.events_processed for cluster, _ in e5_cells + e1_cells)
+    e1_drop = 1.0 - bytes_per_update(e1_batched) / bytes_per_update(e1_base)
+    return BenchResult(
+        name="e14_batching",
+        wall_s=wall,
+        ops=events,
+        unit="events",
+        metrics={
+            "e5_txn_s_passthrough": txn_s(e5_base),
+            "e5_txn_s_batched": txn_s(e5_batched),
+            "e5_speedup_x": txn_s(e5_batched) / txn_s(e5_base),
+            "e5_datagrams_passthrough": float(e5_base.network_stats["sent"]),
+            "e5_datagrams_batched": float(e5_batched.network_stats["sent"]),
+            "e1_bytes_per_update_passthrough": bytes_per_update(e1_base),
+            "e1_bytes_per_update_batched": bytes_per_update(e1_batched),
+            "e1_bytes_drop_frac": e1_drop,
+        },
+    )
+
+
 # -- sweep scaling (seed-sharded parallel sweeps) ------------------------------
 
 
@@ -544,6 +649,7 @@ def run_suite(quick: bool = False, jobs: int = 4) -> list[BenchResult]:
         bench_e9_representative(quick=quick),
         bench_e12_loss_sweep(quick=quick),
         bench_e13_churn_soak(quick=quick),
+        bench_e14_batching(quick=quick),
         bench_sweep_scaling(jobs=jobs, quick=quick),
     ]
 

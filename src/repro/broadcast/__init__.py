@@ -16,18 +16,23 @@ views [Bv94, SS94].
 
 from repro.broadcast.message import BroadcastMessage, MessageId
 from repro.broadcast.vector_clock import VectorClock
+from repro.broadcast.batching import BatchEnvelope, BatchingConfig, BroadcastBatcher
 from repro.broadcast.reliable import ReliableBroadcast
 from repro.broadcast.fifo import FifoBroadcast
-from repro.broadcast.causal import CausalBroadcast, CausalEnvelope
+from repro.broadcast.causal import CausalBroadcast, CausalEnvelope, DeltaCausalEnvelope
 from repro.broadcast.total import SequencedEnvelope, TotalOrderBroadcast
 from repro.broadcast.failure_detector import FailureDetector
 from repro.broadcast.membership import MembershipService, View
 from repro.broadcast.stability import StabilityTracker
 
 __all__ = [
+    "BatchEnvelope",
+    "BatchingConfig",
+    "BroadcastBatcher",
     "BroadcastMessage",
     "CausalBroadcast",
     "CausalEnvelope",
+    "DeltaCausalEnvelope",
     "FailureDetector",
     "FifoBroadcast",
     "MembershipService",

@@ -1,0 +1,181 @@
+"""Opt-in broadcast batching: coalesce a flush window's traffic per link.
+
+Every message in this simulator is a point-to-point datagram paying
+``HEADER_BYTES`` of framing and one full scheduling round trip through the
+event loop.  Bursty protocol phases — a transaction's write fan-out, the
+vote storm after a commit request, the sequencer's order assignments — issue
+several payloads to the same destinations at (nearly) the same instant, so
+the per-datagram overhead dominates both the byte accounting and the
+simulator's wall-clock cost.
+
+:class:`BroadcastBatcher` sits between a site's :class:`ChannelRouter
+<repro.net.router.ChannelRouter>` and its transport.  Payloads sent inside
+one *flush window* are queued per destination; when the window closes, each
+destination receives a single slotted :class:`BatchEnvelope` carrying every
+queued payload in issue order.  The receiving router unpacks the envelope
+and dispatches the constituents in deterministic ``(sender, batch seq,
+slot)`` order — slot order *is* the sender's issue order, so per-link FIFO
+is preserved payload-for-payload.
+
+Selection is per-cluster via ``ClusterConfig.batching`` (see
+:class:`BatchingConfig`).  ``None`` keeps the historical passthrough path:
+no batcher is constructed at all and the wire traffic is bit-identical to
+previous releases (the pinned digests in
+``tests/integration/test_batching_equivalence.py`` prove it).  With
+batching enabled, correctness is *outcome equivalence* — same committed
+set, same converged stores, 1SR — not trace identity: coalescing reorders
+event timing by up to one flush window.
+
+A ``flush_window`` of ``0.0`` still batches: the flush is scheduled through
+the event loop at the current timestamp, so every payload issued by the
+current event cascade shares one envelope per link without adding simulated
+latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.net.sizes import OBJECT_OVERHEAD, estimate_size, register_payload
+
+#: Accounting label of the envelope's own framing overhead.  The network
+#: attributes each constituent payload's bytes to the payload's own kind
+#: (see ``Network.send``); only the residual — shared header plus envelope
+#: framing — lands under this label, which is background traffic for the
+#: E1 cost model.
+BATCH_KIND = "transport.batch"
+
+
+@dataclass(frozen=True)
+class BatchingConfig:
+    """Batching knobs, selected via ``ClusterConfig.batching``.
+
+    ``flush_window`` is the coalescing horizon in simulated milliseconds
+    (0.0 = same-timestamp coalescing only).  ``group_commit`` lets the
+    protocol layers pack votes/acks/order-assignments for transactions
+    sharing a delivery round into single logical messages;
+    ``delta_clocks`` ships vector clocks as per-sender deltas (see
+    ``CausalBroadcast.enable_delta_clocks``).
+    """
+
+    flush_window: float = 0.0
+    group_commit: bool = True
+    delta_clocks: bool = True
+
+    def __post_init__(self) -> None:
+        if self.flush_window < 0:
+            raise ValueError("flush_window must be non-negative")
+
+
+@dataclass(slots=True)
+class BatchEnvelope:
+    """One link's coalesced payloads for one flush window.
+
+    ``seq`` numbers the batches a site flushes (its identity together with
+    the sending site); ``items`` hold the constituent payloads in issue
+    order — the receiver dispatches slot 0 first, so FIFO per link is
+    preserved exactly.
+    """
+
+    seq: int
+    items: tuple[Any, ...]
+    kind: str = BATCH_KIND
+    #: Memoized wire size: the envelope is sized once when sent and again
+    #: by the accounting split; items are immutable once flushed.
+    _size: int = field(default=-1, init=False, repr=False, compare=False)
+
+    def __wire_size__(self) -> int:
+        # Byte-identical to the generic __slots__ traversal over
+        # (seq, items, kind); _size is sender-side bookkeeping.
+        if self._size < 0:
+            self._size = (
+                OBJECT_OVERHEAD
+                + 8  # seq
+                + estimate_size(self.items)
+                + estimate_size(self.kind)
+            )
+        return self._size
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class BroadcastBatcher:
+    """Per-site flush-window coalescer between router and transport.
+
+    The router hands every outgoing (already channel-tagged) payload to
+    :meth:`send`; the first payload of a window arms one flush timer for
+    the whole site.  At flush time each destination's queue becomes one
+    :class:`BatchEnvelope` (destinations drained in sorted order, so runs
+    are deterministic); a queue holding a single payload is sent unwrapped
+    — byte-identical to an unbatched send, just window-delayed.
+    """
+
+    def __init__(self, engine, transport, flush_window: float = 0.0):
+        if flush_window < 0:
+            raise ValueError("flush_window must be non-negative")
+        self.engine = engine
+        self.transport = transport
+        self.site = transport.site
+        self.flush_window = flush_window
+        self._queues: dict[int, list[tuple[Any, Optional[str]]]] = {}
+        self._armed = False
+        self._next_seq = 0
+        #: Counters for tests and the E14 tables.
+        self.batches_sent = 0
+        self.singles_sent = 0
+        self.payloads_batched = 0
+        self.empty_flushes = 0
+
+    def send(self, dst: int, payload: Any, kind: Optional[str] = None) -> None:
+        """Queue one payload for ``dst``; arms the flush timer if idle."""
+        queue = self._queues.get(dst)
+        if queue is None:
+            queue = self._queues[dst] = []
+        queue.append((payload, kind))
+        if not self._armed:
+            self._armed = True
+            # detcheck: ignore[P203] — the flush re-checks the queues; a
+            # crash (reset) between arming and firing leaves it a no-op.
+            self.engine.schedule(self.flush_window, self._flush)
+
+    def flush_now(self) -> None:
+        """Flush synchronously (tests, and draining before a controlled
+        shutdown).  The armed timer, if any, later fires as a no-op."""
+        self._flush()
+
+    def _flush(self) -> None:
+        if not self._queues:
+            # Crash reset (or flush_now) emptied the window under the timer.
+            self._armed = False
+            self.empty_flushes += 1
+            return
+        self._armed = False
+        queues, self._queues = self._queues, {}
+        for dst in sorted(queues):
+            items = queues[dst]
+            if len(items) == 1:
+                payload, kind = items[0]
+                self.singles_sent += 1
+                self.transport.send(dst, payload, kind)
+                continue
+            envelope = BatchEnvelope(
+                self._next_seq, tuple(payload for payload, _ in items)
+            )
+            self._next_seq += 1
+            self.batches_sent += 1
+            self.payloads_batched += len(items)
+            self.transport.send(dst, envelope, BATCH_KIND)
+
+    def pending_count(self) -> int:
+        """Payloads queued for the currently open window."""
+        return sum(len(self._queues[dst]) for dst in sorted(self._queues))
+
+    def reset(self) -> None:
+        """Drop the open window (fail-stop crash: queued traffic is lost)."""
+        self._queues.clear()
+
+
+# Import-time shape check for the size model (detcheck P201/P202).
+register_payload(BatchEnvelope)

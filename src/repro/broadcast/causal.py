@@ -8,14 +8,42 @@ message from ``j`` with clock ``V`` is deliverable at site ``k`` when
 - ``V[x] <= local[x]`` for all ``x != j``  (everything the sender had
   delivered, we have delivered).
 
+Deliverability is tracked *incrementally*: a held-back message counts the
+clock entries still blocking it (its **deficit**) and indexes itself under
+each missing ``(site, value)`` pair.  Every local delivery advances exactly
+one clock entry, so it pops exactly one waiting-index bucket and decrements
+the deficits found there; a message whose deficit reaches zero joins an
+arrival-ordered ready heap.  Delivery work is therefore proportional to the
+messages actually unblocked, not to a rescan of the whole holdback queue —
+the per-event cost no longer degrades as bursts deepen the queue.  Delivery
+*order* is unchanged from the historical scan-and-restart loop: that loop
+always delivered the earliest-arrived deliverable message next, and
+deliverability is monotone (a deliverable message stays deliverable until
+delivered), so popping the minimum arrival rank from the ready heap yields
+the identical sequence.
+
 As the paper requires for the CBP protocol, the message clocks are exposed
 to the application layer: the upward callback receives the stamped envelope,
 and :meth:`clock` reports the site's current delivered-vector, so protocols
 can test causal precedence and concurrency between operations.
+
+**Delta clocks** (:meth:`CausalBroadcast.enable_delta_clocks`): with the
+batching feature on, a broadcast may ship a :class:`DeltaCausalEnvelope`
+carrying only the clock entries that changed since the sender's previous
+broadcast, instead of the full O(n) vector.  Every receiver reconstructs
+the full stamp from its record of that previous stamp; a delta arriving
+before its base (relay and retransmission reorder across links) is parked
+until the base reconstructs.  The sender falls back to a full clock
+whenever continuity is in doubt — first broadcast, view change or
+recovery fast-forward (:meth:`note_disruption`, which also covers ARQ
+epoch bumps: link incarnations only change through the crash/recovery
+path that announces a view change) — and whenever the delta would not
+actually be smaller on the wire.
 """
 
 from __future__ import annotations
 
+import heapq
 import sys
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
@@ -23,7 +51,12 @@ from typing import Any, Callable, Optional
 from repro.broadcast.message import BroadcastMessage
 from repro.broadcast.reliable import ReliableBroadcast
 from repro.broadcast.vector_clock import VectorClock
-from repro.net.sizes import OBJECT_OVERHEAD, estimate_size, register_payload
+from repro.net.sizes import (
+    DELTA_PAIR_BYTES,
+    OBJECT_OVERHEAD,
+    estimate_size,
+    register_payload,
+)
 
 
 @dataclass(slots=True)
@@ -59,6 +92,59 @@ class CausalEnvelope:
         return self._size
 
 
+@dataclass(slots=True)
+class DeltaCausalEnvelope:
+    """A payload stamped with only the clock entries that changed.
+
+    ``delta`` holds ``(site, value)`` pairs — the output of
+    :meth:`VectorClock.delta_since` against the sender's previous stamp.
+    The sender's own entry always appears (each broadcast increments it),
+    so the receiver reads the sender's sequence number straight from the
+    delta to order reconstruction.  Receivers rebuild the full
+    :class:`CausalEnvelope` before the holdback queue ever sees the
+    message; the rest of the stack is delta-agnostic.
+    """
+
+    delta: tuple[tuple[int, int], ...]
+    payload: Any
+    kind: str = ""
+    #: Memoized wire size, same contract as :class:`CausalEnvelope`.
+    _size: int = field(default=-1, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            payload_kind = getattr(self.payload, "kind", None)
+            self.kind = (
+                payload_kind if isinstance(payload_kind, str) else type(self.payload).__name__
+            )
+        self.kind = sys.intern(self.kind)
+
+    def __wire_size__(self) -> int:
+        # Byte-identical to the generic traversal over (delta, payload,
+        # kind): the delta encodes as a tuple of (site, value) int pairs,
+        # DELTA_PAIR_BYTES each (see net/sizes.py).
+        if self._size < 0:
+            self._size = (
+                OBJECT_OVERHEAD
+                + (OBJECT_OVERHEAD + DELTA_PAIR_BYTES * len(self.delta))
+                + estimate_size(self.payload)
+                + estimate_size(self.kind)
+            )
+        return self._size
+
+
+class _Held:
+    """One held-back message and the count of clock entries blocking it."""
+
+    __slots__ = ("order", "message", "envelope", "deficit")
+
+    def __init__(self, order: int, message: BroadcastMessage, envelope: CausalEnvelope):
+        self.order = order
+        self.message = message
+        self.envelope = envelope
+        self.deficit = 0
+
+
 class CausalBroadcast:
     """Causal broadcast endpoint for one site."""
 
@@ -68,11 +154,30 @@ class CausalBroadcast:
         self.num_sites = reliable.num_sites
         self._clock = VectorClock.zero(self.num_sites)
         self._send_seq = 0
-        self._pending: list[BroadcastMessage] = []
+        #: Holdback state: every undelivered message by arrival rank, the
+        #: ready heap of (rank, held) with deficit zero, and the waiting
+        #: index mapping each missing (site, value) clock entry to the
+        #: messages it blocks.
+        self._held: dict[int, _Held] = {}
+        self._heap: list[tuple[int, _Held]] = []
+        self._waiting: dict[tuple[int, int], list[_Held]] = {}
+        self._arrivals = 0
         self._deliver: Optional[Callable[[BroadcastMessage, CausalEnvelope], None]] = None
         self.delivered_count = 0
         #: Optional matrix-clock stability tracking (see enable_stability).
         self.stability = None
+        #: Delta-clock state (enable_delta_clocks): the stamp of our own
+        #: previous broadcast, whether the next broadcast must ship a full
+        #: clock, each peer's last reconstructed stamp, and deltas parked
+        #: waiting for their reconstruction base, per sender by sequence.
+        self._delta_enabled = False
+        self._last_stamp: Optional[VectorClock] = None
+        self._full_due = True
+        self._recon: dict[int, VectorClock] = {}
+        self._recon_pending: dict[int, dict[int, BroadcastMessage]] = {}
+        self.deltas_sent = 0
+        self.fulls_sent = 0
+        self.deltas_parked = 0
         reliable.set_deliver(self._on_reliable_deliver)
 
     def enable_stability(self, gc: bool = False):
@@ -90,6 +195,19 @@ class CausalBroadcast:
         if gc:
             self.stability.on_advance(self.reliable.garbage_collect)
         return self.stability
+
+    def enable_delta_clocks(self) -> None:
+        """Ship vector clocks as deltas against the previous broadcast
+        whenever that is smaller on the wire (see the module docstring).
+        Cluster-wide: every site of a group must agree, since receivers
+        only reconstruct what senders encode."""
+        self._delta_enabled = True
+
+    def note_disruption(self) -> None:
+        """Force the next broadcast to carry a full clock.  Called on view
+        changes and recovery (which also covers ARQ link-epoch bumps):
+        receivers may have lost the reconstruction chain."""
+        self._full_due = True
 
     @property
     def clock(self) -> VectorClock:
@@ -110,76 +228,210 @@ class CausalBroadcast:
         own *send* counter, so back-to-back broadcasts issued before our own
         first message loops back through delivery still get distinct,
         FIFO-ordered stamps.
+
+        With delta clocks enabled the wire form may be a
+        :class:`DeltaCausalEnvelope`; the returned envelope is always the
+        full stamp regardless.
         """
         self._send_seq += 1
         stamp = self._clock.copy()
         stamp.entries[self.site] = self._send_seq
         envelope = CausalEnvelope(stamp, payload, kind or "")
-        self.reliable.broadcast(envelope, envelope.kind)
+        wire: Any = envelope
+        if self._delta_enabled:
+            wire = self._encode(envelope)
+        self._last_stamp = stamp
+        self.reliable.broadcast(wire, envelope.kind)
         return envelope
 
+    def _encode(self, envelope: CausalEnvelope) -> Any:
+        """Pick the wire form: delta when safe and strictly smaller."""
+        if self._full_due or self._last_stamp is None:
+            self._full_due = False
+            self.fulls_sent += 1
+            return envelope
+        delta = envelope.vc.delta_since(self._last_stamp)
+        candidate = DeltaCausalEnvelope(delta, envelope.payload, envelope.kind)
+        if candidate.__wire_size__() < envelope.__wire_size__():
+            self.deltas_sent += 1
+            return candidate
+        self.fulls_sent += 1
+        return envelope
+
+    # -- receive path: reconstruction, admission, delivery ------------------------
+
     def _on_reliable_deliver(self, message: BroadcastMessage) -> None:
-        self._pending.append(message)
-        self._drain()
+        payload = message.payload
+        if type(payload) is DeltaCausalEnvelope:
+            envelope = self._decode_delta(message)
+            if envelope is None:
+                return  # parked until its base reconstructs, or stale
+        else:
+            envelope = payload
+            if self._delta_enabled:
+                self._note_recon(message.sender, envelope.vc)
+        self._admit(message, envelope)
+        if self._recon_pending:
+            self._drain_recon(message.sender)
+        self._pump()
 
-    def _drain(self) -> None:
-        progress = True
-        while progress:
-            progress = False
-            for index, message in enumerate(self._pending):
-                if self._deliverable(message):
-                    del self._pending[index]
-                    self._apply(message)
-                    progress = True
-                    break
-
-    def _deliverable(self, message: BroadcastMessage) -> bool:
-        envelope: CausalEnvelope = message.payload
+    def _decode_delta(self, message: BroadcastMessage) -> Optional[CausalEnvelope]:
+        wire: DeltaCausalEnvelope = message.payload
         sender = message.sender
-        # Hot path: raw entry lists, one scan, no generator machinery.
-        stamped = envelope.vc.entries
-        local = self._clock.entries
-        if stamped[sender] != local[sender] + 1:
-            return False
-        # Vector-clock deliverability compares whole clocks: the O(n) scan
-        # is inherent to the algorithm, and this fused raw-entry loop is its
-        # minimized form (no set builds, no generator machinery).
-        # detcheck: ignore[S301]
-        for site in range(self.num_sites):
-            if site != sender and stamped[site] > local[site]:
-                return False
-        return True
+        seq = -1
+        for site, value in wire.delta:
+            if site == sender:
+                seq = value
+                break
+        if seq < 0:
+            raise RuntimeError(
+                f"site {self.site}: delta from {sender} lacks the sender's own entry"
+            )
+        prev = self._recon.get(sender)
+        if prev is None or seq > prev.entries[sender] + 1:
+            # Base not reconstructed yet (relay/retransmit reorder): park.
+            self._recon_pending.setdefault(sender, {})[seq] = message
+            self.deltas_parked += 1
+            return None
+        if seq <= prev.entries[sender]:
+            return None  # stale duplicate of an already-reconstructed stamp
+        vc = prev.apply_delta(wire.delta)
+        self._recon[sender] = vc
+        return CausalEnvelope(vc, wire.payload, wire.kind)
 
-    def _apply(self, message: BroadcastMessage) -> None:
-        envelope: CausalEnvelope = message.payload
-        self._clock.increment_inplace(message.sender)
+    def _note_recon(self, sender: int, vc: VectorClock) -> None:
+        """A full stamp re-seeds the reconstruction chain for ``sender``."""
+        prev = self._recon.get(sender)
+        if prev is None or vc.entries[sender] > prev.entries[sender]:
+            self._recon[sender] = vc
+
+    def _drain_recon(self, sender: int) -> None:
+        """Admit parked deltas from ``sender`` whose base just arrived."""
+        parked = self._recon_pending.get(sender)
+        if not parked:
+            return
+        while True:
+            prev = self._recon[sender]
+            message = parked.pop(prev.entries[sender] + 1, None)
+            if message is None:
+                break
+            wire: DeltaCausalEnvelope = message.payload
+            vc = prev.apply_delta(wire.delta)
+            self._recon[sender] = vc
+            self._admit(message, CausalEnvelope(vc, wire.payload, wire.kind))
+        if not parked:
+            del self._recon_pending[sender]
+
+    def _admit(self, message: BroadcastMessage, envelope: CausalEnvelope) -> None:
+        """Index a message under every clock entry still blocking it."""
+        held = _Held(self._arrivals, message, envelope)
+        self._arrivals += 1
+        self._held[held.order] = held
+        self._register(held)
+
+    def _register(self, held: _Held) -> None:
+        sender = held.message.sender
+        # Hot path: raw entry lists, one scan, no generator machinery.
+        stamped = held.envelope.vc.entries
+        local = self._clock.entries
+        deficit = 0
+        seq = stamped[sender]
+        if seq != local[sender] + 1:
+            # Waits for the sender's preceding broadcast.  A *stale* stamp
+            # (seq already delivered or skipped by a recovery fast-forward)
+            # lands on a (sender, value) key the clock has already passed
+            # and is never released — exactly the historical behavior of
+            # parking it in the scan queue forever; fast_forward prunes it.
+            deficit += 1
+            self._waiting.setdefault((sender, seq - 1), []).append(held)
+        for site, seen in enumerate(stamped):
+            if site != sender and seen > local[site]:
+                deficit += 1
+                self._waiting.setdefault((site, seen), []).append(held)
+        held.deficit = deficit
+        if deficit == 0:
+            heapq.heappush(self._heap, (held.order, held))
+
+    def _pump(self) -> None:
+        """Deliver ready messages in arrival order until the heap drains."""
+        heap = self._heap
+        while heap:
+            order, held = heapq.heappop(heap)
+            del self._held[order]
+            self._apply(held.message, held.envelope)
+
+    def _apply(self, message: BroadcastMessage, envelope: CausalEnvelope) -> None:
+        sender = message.sender
+        self._clock.increment_inplace(sender)
         self.delivered_count += 1
         if self.stability is not None:
-            self.stability.observe(message.sender, envelope.vc)
+            self.stability.observe(sender, envelope.vc)
             self.stability.observe(self.site, self._clock)
+        # This delivery advanced exactly one clock entry: release the
+        # messages waiting on it.
+        waiters = self._waiting.pop((sender, self._clock.entries[sender]), None)
+        if waiters is not None:
+            for held in waiters:
+                held.deficit -= 1
+                if held.deficit == 0:
+                    heapq.heappush(self._heap, (held.order, held))
         if self._deliver is None:
             raise RuntimeError(f"site {self.site}: causal broadcast has no deliver callback")
         self._deliver(message, envelope)
 
     def pending_count(self) -> int:
-        """Messages held back waiting for causal predecessors."""
-        return len(self._pending)
+        """Messages held back waiting for causal predecessors (including
+        deltas parked for reconstruction)."""
+        parked = sum(
+            len(self._recon_pending[sender]) for sender in sorted(self._recon_pending)
+        )
+        return len(self._held) + parked
 
     def fast_forward(self, clock_entries: list[int]) -> None:
         """Jump the delivered-vector past messages a state transfer already
         covers (crash recovery).  Our own send counter is preserved — peers
         still expect our next broadcast to continue our own sequence — and
-        held-back messages from the skipped past are discarded.
+        held-back messages from the skipped past are discarded.  Survivors
+        are re-indexed against the new clock, keeping their arrival ranks;
+        as before, delivery resumes with the next arrival, not here.
         """
         own_send_seq = max(self._send_seq, clock_entries[self.site])
         self._clock = VectorClock(clock_entries)
         self._clock.entries[self.site] = own_send_seq
         self._send_seq = own_send_seq
-        self._pending = [m for m in self._pending if self._deliverable_in_future(m)]
+        survivors = [
+            self._held[order]
+            for order in sorted(self._held)
+            if self._deliverable_in_future(self._held[order])
+        ]
+        self._held = {}
+        self._heap = []
+        self._waiting = {}
+        for held in survivors:
+            self._held[held.order] = held
+            self._register(held)
+        # Receivers may have lost our reconstruction chain while we were
+        # away; ship a full clock first.
+        self._full_due = True
 
-    def _deliverable_in_future(self, message: BroadcastMessage) -> bool:
-        envelope: CausalEnvelope = message.payload
-        return envelope.vc[message.sender] > self._clock[message.sender]
+    def _deliverable_in_future(self, held: _Held) -> bool:
+        return held.envelope.vc[held.message.sender] > self._clock[held.message.sender]
+
+    # -- recovery plumbing for delta reconstruction --------------------------------
+
+    def export_recon(self) -> dict[int, list[int]]:
+        """Last reconstructed stamp per sender — a state-transfer donor
+        ships this so a rejoiner can decode deltas that straddle the
+        transfer (senders also go full on the view change, so this is a
+        second line of defense for the static-membership path)."""
+        return {sender: list(vc.entries) for sender, vc in self._recon.items()}
+
+    def adopt_recon(self, recon: dict[int, list[int]]) -> None:
+        """Seed reconstruction bases from a donor's :meth:`export_recon`."""
+        for sender, entries in sorted(recon.items()):
+            self._note_recon(sender, VectorClock(entries))
+
 
 # Import-time shape check for the size model (detcheck P201/P202).
 register_payload(CausalEnvelope)
+register_payload(DeltaCausalEnvelope)

@@ -113,6 +113,7 @@ class TotalOrderBroadcast:
         token_hold: float = 1.0,
         uniform: bool = False,
         stability_interval: float = 10.0,
+        group_commit: bool = False,
     ):
         if mode not in ("sequencer", "token"):
             raise ValueError(f"unknown total-order mode {mode!r}")
@@ -143,6 +144,12 @@ class TotalOrderBroadcast:
         self._delivery_order: list[tuple[int, int]] = []  # sorted keys awaiting delivery
         # Sequencer state.
         self._next_seq = 0
+        #: Group commit: the sequencer accumulates the assignments it issues
+        #: at one simulation instant and broadcasts them as a single
+        #: OrderAssignment per epoch run, instead of one per message.
+        self.group_commit = group_commit
+        self._assign_outbox: list[tuple[int, MessageId, int]] = []
+        self._assign_armed = False
         # Token state.
         self._outbox: list[tuple[Any, str]] = []
         self._has_token = False
@@ -263,8 +270,48 @@ class TotalOrderBroadcast:
                 # assignment delivered back synchronously, the handler above
                 # would pop _unordered itself and this pop would KeyError.
                 self._record_order(message.id, key, self._unordered.pop(message.id))
-                self.causal.broadcast(OrderAssignment(key[0], [(message.id, key[1])]))
+                self._issue_assignment(key[0], message.id, key[1])
         self._drain()
+
+    def _issue_assignment(self, epoch: int, msg_id: MessageId, seq: int) -> None:
+        """Broadcast one assignment, or queue it for the group-commit flush.
+
+        The local :meth:`_record_order` already happened (H402); only the
+        wire announcement is deferred, by one zero-delay event, so every
+        ordered message the sequencer delivers at this instant shares one
+        OrderAssignment frame.
+        """
+        if not self.group_commit:
+            self.causal.broadcast(OrderAssignment(epoch, [(msg_id, seq)]))
+            return
+        self._assign_outbox.append((epoch, msg_id, seq))
+        if not self._assign_armed:
+            self._assign_armed = True
+            # detcheck: ignore[P203] — the flush re-checks the outbox; a
+            # crash clears it (on_crash) and leaves the firing a no-op.
+            self.engine.schedule(0.0, self._flush_assignments)
+
+    def _flush_assignments(self) -> None:
+        self._assign_armed = False
+        if not self._assign_outbox:
+            return
+        # Swap-drain (detcheck H402): broadcasting can re-enter delivery.
+        outbox, self._assign_outbox = self._assign_outbox, []
+        # One OrderAssignment per contiguous same-epoch run, so a view
+        # change mid-window never mixes epochs inside one frame.
+        index = 0
+        while index < len(outbox):
+            epoch = outbox[index][0]
+            assignments: list[tuple[MessageId, int]] = []
+            while index < len(outbox) and outbox[index][0] == epoch:
+                assignments.append((outbox[index][1], outbox[index][2]))
+                index += 1
+            self.causal.broadcast(OrderAssignment(epoch, assignments))
+
+    def on_crash(self) -> None:
+        """Fail-stop: assignments queued for the flush are lost with the
+        site (the takeover sequencer re-numbers the unassigned backlog)."""
+        self._assign_outbox.clear()
 
     def _on_order_assignment(self, order: OrderAssignment) -> None:
         for msg_id, seq in order.assignments:

@@ -24,6 +24,7 @@ from typing import Any, Callable, Optional
 
 from repro.analysis.metrics import MetricsCollector
 from repro.baselines.p2p_2pc import PointToPointReplica
+from repro.broadcast.batching import BatchingConfig, BroadcastBatcher
 from repro.broadcast.causal import CausalBroadcast
 from repro.broadcast.failure_detector import FailureDetector
 from repro.broadcast.membership import MembershipService, View
@@ -68,6 +69,12 @@ class ClusterConfig:
     # inject loss mid-run on a lossless build; False = passthrough always
     # (rejected when loss_rate > 0).
     reliable_links: Optional[bool] = None
+    # Batching: None = passthrough, bit-identical to historical traffic.
+    # Otherwise a BatchingConfig (or shorthand: True = defaults, a number =
+    # flush window in ms) enabling the flush-window coalescer plus, per its
+    # flags, protocol group commit and delta-encoded vector clocks.  With
+    # batching on, runs are outcome-equivalent, not trace-identical.
+    batching: Optional[Any] = None
     arq_window: int = 32
     arq_max_backoff: float = 64.0
     relay: bool = False
@@ -119,6 +126,18 @@ class ClusterConfig:
                 "reliable_links=False with loss_rate > 0 would break the "
                 "reliable-FIFO-link assumption the protocols are built on"
             )
+        if self.batching is not None and not isinstance(self.batching, BatchingConfig):
+            if self.batching is True:
+                self.batching = BatchingConfig()
+            elif isinstance(self.batching, (int, float)) and not isinstance(
+                self.batching, bool
+            ):
+                self.batching = BatchingConfig(flush_window=float(self.batching))
+            else:
+                raise ValueError(
+                    "batching must be None, True, a flush window in ms, "
+                    "or a BatchingConfig"
+                )
 
 
 @dataclass
@@ -185,6 +204,7 @@ class Cluster:
         self.keys = [f"x{i}" for i in range(config.num_objects)]
         self.replicas: list[Replica] = []
         self.transports: list[ReliableTransport] = []
+        self.batchers: list[Optional[BroadcastBatcher]] = []
         self.routers: list[ChannelRouter] = []
         self.reliables: list[ReliableBroadcast] = []
         self.causals: list[CausalBroadcast] = []
@@ -211,11 +231,17 @@ class Cluster:
                 max_backoff=config.arq_max_backoff,
                 trace=self.trace,
             )
-            router = ChannelRouter(transport)
+            batcher = None
+            if config.batching is not None:
+                batcher = BroadcastBatcher(
+                    self.engine, transport, flush_window=config.batching.flush_window
+                )
+            router = ChannelRouter(transport, batcher=batcher)
             reliable = ReliableBroadcast(
                 self.engine, router, site, config.num_sites, relay=config.relay
             )
             self.transports.append(transport)
+            self.batchers.append(batcher)
             self.routers.append(router)
             self.reliables.append(reliable)
 
@@ -252,6 +278,9 @@ class Cluster:
         self, site: int, router: ChannelRouter, reliable: ReliableBroadcast
     ) -> Replica:
         config = self.config
+        batching = config.batching
+        group_commit = batching is not None and batching.group_commit
+        delta_clocks = batching is not None and batching.delta_clocks
         common = (
             self.engine,
             site,
@@ -270,9 +299,12 @@ class Cluster:
                 decision_query_timeout=config.rbp_decision_query_timeout,
                 decision_query_attempts=config.rbp_decision_query_attempts,
                 decision_log_capacity=config.rbp_decision_log_capacity,
+                group_commit=group_commit,
             )
         if config.protocol == "cbp":
             causal = CausalBroadcast(reliable)
+            if delta_clocks:
+                causal.enable_delta_clocks()
             self.causals.append(causal)
             return CausalBroadcastReplica(
                 *common,
@@ -282,6 +314,8 @@ class Cluster:
             )
         if config.protocol == "abp":
             causal = CausalBroadcast(reliable)
+            if delta_clocks:
+                causal.enable_delta_clocks()
             self.causals.append(causal)
             total = TotalOrderBroadcast(
                 self.engine,
@@ -290,6 +324,7 @@ class Cluster:
                 token_hold=config.abp_token_hold,
                 uniform=config.abp_uniform,
                 stability_interval=config.abp_stability_interval,
+                group_commit=group_commit,
             )
             self.totals.append(total)
             return AtomicBroadcastReplica(*common, abcast=total, variant=config.abp_variant)
@@ -320,6 +355,7 @@ class Cluster:
             state: dict = {}
             if self.causals:
                 state["causal_clock"] = list(self.causals[site].clock)
+                state["causal_recon"] = self.causals[site].export_recon()
             if self.totals:
                 state["total_order_state"] = self.totals[site].export_order_state()
             if isinstance(replica, ReliableBroadcastReplica):
@@ -330,6 +366,9 @@ class Cluster:
             clock = state.get("causal_clock")
             if self.causals and clock is not None:
                 self.causals[site].fast_forward(clock)
+                recon = state.get("causal_recon")
+                if recon is not None:
+                    self.causals[site].adopt_recon(recon)
             order_state = state.get("total_order_state")
             if self.totals and order_state is not None:
                 self.totals[site].fast_forward(order_state)
@@ -349,6 +388,11 @@ class Cluster:
             members = list(view.members)
             was_primary = replica.has_quorum
             self.reliables[site].set_group(members)
+            if self.causals:
+                # Delta-clock fallback: a membership change means some
+                # receiver may have lost our reconstruction chain — the
+                # next broadcast ships a full clock (no-op without deltas).
+                self.causals[site].note_disruption()
             if self.totals:
                 self.totals[site].set_group(members)
             now_primary = view.has_quorum(self.config.num_sites)
@@ -467,6 +511,11 @@ class Cluster:
             self.engine.schedule_at(at, self.crash_site, site)
             return
         self.network.set_site_up(site, False)
+        if self.batchers[site] is not None:
+            # Fail-stop: the open flush window's queued traffic is lost.
+            self.batchers[site].reset()
+        if self.totals:
+            self.totals[site].on_crash()
         replica = self.replicas[site]
         for tx in list(replica.local.values()):
             replica._complete_abort(tx, AbortReason.SITE_FAILURE)
@@ -489,6 +538,8 @@ class Cluster:
         replica = self.replicas[site]
         self.network.set_site_up(site, True)
         self.transports[site].reset()
+        if self.batchers[site] is not None:
+            self.batchers[site].reset()
         replica.recover()
         replica.recovering = True
         if self.detectors:

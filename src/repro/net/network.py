@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.net.latency import FixedLatency, LatencyModel
-from repro.net.sizes import wire_size
+from repro.net.sizes import estimate_size, wire_size
 from repro.net.partition import PartitionManager
 from repro.sim.engine import SimulationEngine
 from repro.sim.rng import RngRegistry
@@ -137,9 +137,20 @@ class Network:
         label = kind if kind is not None else _kind_of(payload)
         size = wire_size(payload)
         self.stats.sent += 1
-        self.stats.by_kind[label] += 1
-        self.stats.bytes_by_kind[label] += size
         self.stats.bytes_sent += size
+        if label == _BATCH_KIND:
+            # A flush-window batch is one physical datagram but many
+            # protocol messages: attribute each constituent's count and
+            # bytes to its own kind so the E1/E11 per-kind cost tables are
+            # batching-invariant, and only the shared framing residual to
+            # the batch label.  (Retransmissions of batch frames keep the
+            # opaque ``transport.retransmit`` label, as all repair traffic
+            # does.)  ``sent`` keeps counting physical datagrams, so with
+            # batching on ``sum(by_kind) > sent`` by design.
+            self._account_batch(payload, size)
+        else:
+            self.stats.by_kind[label] += 1
+            self.stats.bytes_by_kind[label] += size
 
         if not self._site_up[src]:
             # A crashed site cannot send; callers normally guard this, but a
@@ -206,6 +217,32 @@ class Network:
         self.stats.delivered += 1
         handler(datagram)
 
+    def _account_batch(self, payload: Any, size: int) -> None:
+        """Split a batch datagram's accounting across its constituents.
+
+        ``payload`` is the BatchEnvelope itself on a passthrough link, or
+        the ARQ data frame wrapping one; anything else labeled as a batch
+        is accounted opaquely.  The invariant ``sum(bytes_by_kind) ==
+        bytes_sent`` is preserved: constituent sizes are the same memoized
+        estimates the envelope's own wire size summed over.
+        """
+        batch = payload if isinstance(payload, BatchEnvelope) else getattr(payload, "payload", None)
+        if not isinstance(batch, BatchEnvelope):
+            self.stats.by_kind[_BATCH_KIND] += 1
+            self.stats.bytes_by_kind[_BATCH_KIND] += size
+            return
+        by_kind = self.stats.by_kind
+        bytes_by_kind = self.stats.bytes_by_kind
+        inner = 0
+        for item in batch.items:
+            item_size = estimate_size(item)
+            item_kind = _kind_of(item)
+            by_kind[item_kind] += 1
+            bytes_by_kind[item_kind] += item_size
+            inner += item_size
+        by_kind[_BATCH_KIND] += 1
+        bytes_by_kind[_BATCH_KIND] += size - inner
+
     def _check_site(self, site: int) -> None:
         if not 0 <= site < self.num_sites:
             raise ValueError(f"unknown site {site} (num_sites={self.num_sites})")
@@ -219,3 +256,10 @@ def _kind_of(payload: Any) -> str:
     if isinstance(kind, str):
         return kind
     return type(payload).__name__
+
+
+# Imported last: batching lives in repro.broadcast, whose package import
+# reaches this module through the transport — by this point every name the
+# cycle needs is defined.
+from repro.broadcast.batching import BATCH_KIND as _BATCH_KIND  # noqa: E402
+from repro.broadcast.batching import BatchEnvelope  # noqa: E402

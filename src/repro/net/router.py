@@ -50,9 +50,14 @@ class Tagged:
 class ChannelRouter:
     """Sends and dispatches channel-tagged payloads for one site."""
 
-    def __init__(self, transport: ReliableTransport):
+    def __init__(self, transport: ReliableTransport, batcher: Optional[Any] = None):
         self.transport = transport
         self.site = transport.site
+        #: Optional flush-window coalescer (repro.broadcast.batching); when
+        #: absent every send goes straight to the transport, keeping the
+        #: historical wire traffic bit-identical.
+        self.batcher = batcher
+        self._sender = batcher if batcher is not None else transport
         self._handlers: dict[str, Callable[[int, Any], None]] = {}
         transport.set_receiver(self._dispatch)
 
@@ -63,7 +68,7 @@ class ChannelRouter:
         self._handlers[channel] = handler
 
     def send(self, dst: int, channel: str, payload: Any, kind: Optional[str] = None) -> None:
-        self.transport.send(dst, Tagged(channel, payload, kind or ""), kind)
+        self._sender.send(dst, Tagged(channel, payload, kind or ""), kind)
 
     def multicast(
         self,
@@ -79,18 +84,31 @@ class ChannelRouter:
         for dst in dsts:
             if dst == self.site and not include_self:
                 continue
-            self.transport.send(dst, tagged, kind)
+            self._sender.send(dst, tagged, kind)
 
     def _dispatch(self, src: int, payload: Any) -> None:
-        if not isinstance(payload, Tagged):
-            raise RuntimeError(f"site {self.site}: untagged payload {payload!r} from {src}")
-        handler = self._handlers.get(payload.channel)
-        if handler is None:
-            raise RuntimeError(
-                f"site {self.site}: no handler for channel {payload.channel!r}"
-            )
-        handler(src, payload.payload)
+        if isinstance(payload, Tagged):
+            handler = self._handlers.get(payload.channel)
+            if handler is None:
+                raise RuntimeError(
+                    f"site {self.site}: no handler for channel {payload.channel!r}"
+                )
+            handler(src, payload.payload)
+            return
+        if isinstance(payload, BatchEnvelope):
+            # Unpack in slot order — the sender's issue order — so batching
+            # preserves per-link FIFO payload-for-payload, and batches from
+            # different senders dispatch in (sender, seq) arrival order.
+            for item in payload.items:
+                self._dispatch(src, item)
+            return
+        raise RuntimeError(f"site {self.site}: untagged payload {payload!r} from {src}")
 
 
 # Import-time shape check for the size model (detcheck P201/P202).
 register_payload(Tagged)
+
+# Imported last: batching lives in repro.broadcast, whose package import
+# pulls in the reliable layer, which imports this module — by this point
+# every name the cycle needs is defined.
+from repro.broadcast.batching import BatchEnvelope  # noqa: E402

@@ -25,6 +25,13 @@ from typing import Any
 HEADER_BYTES = 48
 #: Per-object framing overhead inside a payload.
 OBJECT_OVERHEAD = 8
+#: One ``(site, value)`` entry of a delta-encoded vector clock: a pair
+#: object framing two 8-byte ints.  Matches the generic traversal of a
+#: 2-int tuple, so delta envelopes stay byte-identical to naive sizing;
+#: a delta with ``k`` changed entries costs ``OBJECT_OVERHEAD + k *
+#: DELTA_PAIR_BYTES`` against the full clock's ``2 * OBJECT_OVERHEAD +
+#: 8 * num_sites``.
+DELTA_PAIR_BYTES = OBJECT_OVERHEAD + 16
 
 _PRIMITIVE_SIZES = {
     bool: 1,

@@ -14,6 +14,7 @@ def test_quick_suite_runs_and_round_trips(tmp_path):
         "e9_failover_rbp",
         "e12_loss_sweep",
         "e13_churn_soak",
+        "e14_batching",
         "sweep_scaling_rbp",
     ]
     for result in results:
@@ -54,6 +55,18 @@ def test_failover_bench_is_deterministic_and_unblocked():
         assert a.metrics[key] == b.metrics[key]
     assert a.metrics["committed"] == b.metrics["committed"]
     assert a.metrics["messages"] == b.metrics["messages"]
+
+
+def test_batching_bench_is_deterministic_and_meets_floor():
+    a = perf.bench_e14_batching(quick=True)
+    b = perf.bench_e14_batching(quick=True)
+    assert a.ops == b.ops
+    assert a.metrics == b.metrics
+    # The bench asserts outcome equivalence internally; the headline
+    # metrics must show batching actually helping on the lossy cells.
+    assert a.metrics["e5_speedup_x"] > 1.0
+    assert a.metrics["e5_datagrams_batched"] < a.metrics["e5_datagrams_passthrough"]
+    assert a.metrics["e1_bytes_drop_frac"] > 0.0
 
 
 def test_sweep_scaling_bench_reports_digest_checked_speedup():
